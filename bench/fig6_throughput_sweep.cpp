@@ -1,0 +1,47 @@
+// Reproduces Fig 6: steady-state throughput (GOPS) versus output tile size
+// m for multiplier budgets of 256 / 512 / 1024 at 200 MHz (Eqs 8 and 10).
+//
+// Convention note (DESIGN.md): the paper's published bars floor P for the
+// spatial entry and use the continuous relaxation of Eq 8 for the Winograd
+// entries, scaling the 512/1024 columns linearly from the 256 column; the
+// model reproduces this exactly.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "dse/performance.hpp"
+
+int main() {
+  using wino::common::TextTable;
+
+  std::printf("Fig 6 — throughput (GOPS) vs m and multiplier budget,\n");
+  std::printf("200 MHz, r = 3 (paper Eqs 8-10)\n\n");
+
+  const double paper[7][3] = {
+      {100.80, 201.60, 403.20},  {230.40, 460.80, 921.59},
+      {331.78, 663.50, 1327.11}, {409.60, 819.19, 1638.38},
+      {470.21, 940.41, 1880.82}, {518.40, 1036.80, 2073.60},
+      {557.56, 1115.11, 2230.23}};
+
+  TextTable t;
+  t.header({"Method", "256 mults", "paper", "512 mults", "paper",
+            "1024 mults", "paper"});
+  for (int m = 1; m <= 7; ++m) {
+    std::vector<std::string> row;
+    row.push_back(m == 1 ? "Spatial Conv"
+                         : "F(" + std::to_string(m) + "x" +
+                               std::to_string(m) + ",3x3)");
+    int col = 0;
+    for (const std::size_t mults : {256u, 512u, 1024u}) {
+      row.push_back(TextTable::num(
+          wino::dse::fig6_throughput_ops(m, 3, mults, 200e6) / 1e9, 2));
+      row.push_back(TextTable::num(paper[m - 1][col++], 2));
+    }
+    t.row(std::move(row));
+  }
+  t.print();
+
+  std::printf(
+      "\nAlso shown in the paper's discussion: throughput is linear in the\n"
+      "multiplier budget and quadratic in m at fixed budget.\n");
+  return 0;
+}

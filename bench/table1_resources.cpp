@@ -1,0 +1,69 @@
+// Reproduces Table I: resource utilisation of the 19-PE F(4x4, 3x3)
+// engines on the Virtex-7 — the proposed shared-data-transform design
+// versus the reference style of [3] — plus the per-PE marginal costs the
+// paper quotes in Section V-A.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "fpga/device.hpp"
+#include "fpga/resources.hpp"
+
+int main() {
+  using wino::common::TextTable;
+  using wino::fpga::EngineStyle;
+
+  const auto& device = wino::fpga::virtex7_485t();
+  const wino::fpga::ResourceEstimator est(device);
+
+  std::printf("Table I — resource utilisation, 19 PEs, F(4x4, 3x3), fp32\n");
+  std::printf("(model calibrated on this table's two design rows; all\n");
+  std::printf("other configurations below are predictions)\n\n");
+
+  const auto ours = est.estimate(4, 3, 19, EngineStyle::kSharedDataTransform);
+  const auto ref = est.estimate(4, 3, 19, EngineStyle::kPerPeDataTransform);
+
+  TextTable t;
+  t.header({"Design", "Registers", "LUTs", "DSPs", "Multipliers"});
+  t.row({"Design based on [3]", std::to_string(ref.registers),
+         std::to_string(ref.luts), std::to_string(ref.dsps),
+         std::to_string(ref.fp32_multipliers)});
+  t.row({"Our proposed design", std::to_string(ours.registers),
+         std::to_string(ours.luts), std::to_string(ours.dsps),
+         std::to_string(ours.fp32_multipliers)});
+  t.row({"Available resources", std::to_string(device.registers),
+         std::to_string(device.luts), std::to_string(device.dsps),
+         std::to_string(device.fp32_multipliers())});
+  t.print();
+
+  const double saving =
+      100.0 * (1.0 - static_cast<double>(ours.luts) /
+                         static_cast<double>(ref.luts));
+  std::printf("\nLUT saving: %.1f%% (paper: ~53.6%%)\n", saving);
+  std::printf("Marginal LUTs per PE: ours %zu (paper ~5312), ref %zu "
+              "(paper ~12224)\n\n",
+              ours.luts_per_pe, ref.luts_per_pe);
+
+  std::printf("Model predictions for the other Table II design points:\n\n");
+  TextTable t2;
+  t2.header({"Design", "PEs", "Registers", "LUTs", "DSPs", "Multipliers"});
+  struct Cfg {
+    const char* name;
+    int m;
+    std::size_t pes;
+    EngineStyle style;
+  };
+  const Cfg cfgs[] = {
+      {"ref [3]  F(2x2,3x3)", 2, 16, EngineStyle::kPerPeDataTransform},
+      {"ref [3]a F(2x2,3x3)", 2, 43, EngineStyle::kPerPeDataTransform},
+      {"ours     F(2x2,3x3)", 2, 43, EngineStyle::kSharedDataTransform},
+      {"ours     F(3x3,3x3)", 3, 28, EngineStyle::kSharedDataTransform},
+  };
+  for (const auto& c : cfgs) {
+    const auto r = est.estimate(c.m, 3, c.pes, c.style);
+    t2.row({c.name, std::to_string(c.pes), std::to_string(r.registers),
+            std::to_string(r.luts), std::to_string(r.dsps),
+            std::to_string(r.fp32_multipliers)});
+  }
+  t2.print();
+  return 0;
+}

@@ -1,0 +1,240 @@
+// Reproduces Table II: the performance comparison on VGG16-D — per-group
+// latency, overall latency, throughput, multiplier efficiency, power and
+// power efficiency for the reference designs and the proposed engines.
+//
+// Cells show "model (paper)". The [12] column is a cited measurement from
+// Qiu et al. (Zynq, 16-bit) and is reproduced as published constants; [3]'s
+// power is cited from Podili et al. (Stratix V). [3]a's power follows the
+// paper's own multiplier-count normalisation rule. Everything else is
+// computed by the calibrated models, and the "cycle-sim" row cross-checks
+// the Eq 9 latency against the cycle-exact simulator.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "dse/design_space.hpp"
+#include "fpga/power.hpp"
+#include "hw/winograd_engine.hpp"
+#include "nn/network.hpp"
+
+namespace {
+
+struct PaperColumn {
+  const char* name;
+  double conv_ms[5];
+  double total_ms;
+  double gops;
+  double mult_eff;
+  double power_w;
+  double power_eff;
+};
+
+std::string cell(double model, double paper, int prec = 2) {
+  return wino::common::TextTable::num(model, prec) + " (" +
+         wino::common::TextTable::num(paper, prec) + ")";
+}
+
+}  // namespace
+
+int main() {
+  using wino::common::TextTable;
+  using wino::dse::DesignPoint;
+  using wino::fpga::EngineStyle;
+
+  const auto& net = wino::nn::vgg16_d();
+  const wino::dse::DesignSpaceExplorer dse(net,
+                                           wino::fpga::virtex7_485t());
+
+  // Published Table II columns ([12]'s cited constants are printed in the
+  // footer below the table).
+  const PaperColumn p3 = {"[3]",
+                          {16.81, 24.08, 40.14, 40.14, 12.04},
+                          133.22,
+                          230.4,
+                          0.90,
+                          8.04,
+                          28.66};
+  const PaperColumn p3a = {"[3]a",
+                           {6.25, 8.96, 14.94, 14.94, 4.48},
+                           49.57,
+                           619.2,
+                           0.90,
+                           21.61,
+                           28.66};
+  const PaperColumn ours2 = {"ours m=2",
+                             {6.25, 8.96, 14.94, 14.94, 4.48},
+                             49.57,
+                             619.2,
+                             0.90,
+                             13.03,
+                             41.34};
+  const PaperColumn ours3 = {"ours m=3",
+                             {4.27, 6.12, 10.19, 10.19, 3.06},
+                             33.83,
+                             907.2,
+                             1.29,
+                             23.96,
+                             37.87};
+  const PaperColumn ours4 = {"ours m=4",
+                             {3.54, 5.07, 8.45, 8.45, 2.54},
+                             28.05,
+                             1094.3,
+                             1.60,
+                             36.32,
+                             30.13};
+
+  // Power provenance per column: [3]'s 8.04 W is cited from Podili et al.
+  // (Stratix V — outside our Virtex-7 power model's domain); [3]a follows
+  // the paper's multiplier normalisation; ours come from the fitted model.
+  enum class PowerSource { kCited, kScaledReference, kModel };
+  struct Design {
+    PaperColumn paper;
+    DesignPoint point;
+    PowerSource power;
+  };
+  std::vector<Design> designs;
+  designs.push_back({p3,
+                     {2, 3, 16, EngineStyle::kPerPeDataTransform, 200e6},
+                     PowerSource::kCited});
+  designs.push_back({p3a,
+                     {2, 3, 43, EngineStyle::kPerPeDataTransform, 200e6},
+                     PowerSource::kScaledReference});
+  designs.push_back({ours2,
+                     {2, 3, 43, EngineStyle::kSharedDataTransform, 200e6},
+                     PowerSource::kModel});
+  designs.push_back({ours3,
+                     {3, 3, 28, EngineStyle::kSharedDataTransform, 200e6},
+                     PowerSource::kModel});
+  designs.push_back({ours4,
+                     {4, 3, 19, EngineStyle::kSharedDataTransform, 200e6},
+                     PowerSource::kModel});
+
+  std::printf("Table II — performance comparison for VGG16-D\n");
+  std::printf("cells: model (paper); [12] column: published constants\n\n");
+
+  std::vector<wino::dse::DesignEvaluation> evals;
+  std::vector<double> watts;
+  for (const auto& d : designs) {
+    auto ev = dse.evaluate(d.point);
+    switch (d.power) {
+      case PowerSource::kCited:
+        watts.push_back(d.paper.power_w);
+        break;
+      case PowerSource::kScaledReference:
+        watts.push_back(
+            wino::fpga::scaled_reference_power_w(ev.multipliers));
+        break;
+      case PowerSource::kModel:
+        watts.push_back(ev.power_w);
+        break;
+    }
+    evals.push_back(std::move(ev));
+  }
+
+  TextTable t;
+  {
+    std::vector<std::string> h{"Metric", "[12] (cited)"};
+    for (const auto& d : designs) h.emplace_back(d.paper.name);
+    t.header(std::move(h));
+  }
+  const auto add_row = [&](const std::string& metric, auto getter,
+                           auto paper_getter, int prec) {
+    std::vector<std::string> row{metric, ""};
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+      row.push_back(
+          cell(getter(i), paper_getter(designs[i].paper), prec));
+    }
+    t.row(std::move(row));
+  };
+
+  {
+    std::vector<std::string> row{"Multipliers", "780"};
+    for (const auto& ev : evals) row.push_back(std::to_string(ev.multipliers));
+    t.row(std::move(row));
+    row = {"PEs", "-"};
+    for (const auto& ev : evals) {
+      row.push_back(std::to_string(ev.parallel_pes));
+    }
+    t.row(std::move(row));
+    row = {"Precision (bits)", "16"};
+    for (std::size_t i = 0; i < designs.size(); ++i) row.emplace_back("32");
+    t.row(std::move(row));
+    row = {"Frequency (MHz)", "150"};
+    for (std::size_t i = 0; i < designs.size(); ++i) row.emplace_back("200");
+    t.row(std::move(row));
+  }
+
+  for (std::size_t g = 0; g < 5; ++g) {
+    add_row(
+        "Conv" + std::to_string(g + 1) + " (ms)",
+        [&](std::size_t i) { return evals[i].group_latency_s[g] * 1e3; },
+        [&, g](const PaperColumn& p) { return p.conv_ms[g]; }, 2);
+  }
+  // Patch in the [12] cited latencies for readability.
+  add_row(
+      "Overall latency (ms)",
+      [&](std::size_t i) { return evals[i].total_latency_s * 1e3; },
+      [](const PaperColumn& p) { return p.total_ms; }, 2);
+  add_row(
+      "Throughput (GOPS)",
+      [&](std::size_t i) { return evals[i].throughput_ops / 1e9; },
+      [](const PaperColumn& p) { return p.gops; }, 1);
+  add_row(
+      "GOPS/multiplier",
+      [&](std::size_t i) { return evals[i].mult_efficiency / 1e9; },
+      [](const PaperColumn& p) { return p.mult_eff; }, 2);
+  add_row(
+      "Power (W)", [&](std::size_t i) { return watts[i]; },
+      [](const PaperColumn& p) { return p.power_w; }, 2);
+  add_row(
+      "GOPS/W",
+      [&](std::size_t i) {
+        return evals[i].throughput_ops / 1e9 / watts[i];
+      },
+      [](const PaperColumn& p) { return p.power_eff; }, 2);
+  // Extension row: energy per inference (power x latency) — the figure of
+  // merit an embedded deployment would optimise; derived from the paper's
+  // own columns for the "(paper)" half.
+  add_row(
+      "Energy/image (mJ)",
+      [&](std::size_t i) {
+        return watts[i] * evals[i].total_latency_s * 1e3;
+      },
+      [](const PaperColumn& p) { return p.power_w * p.total_ms / 1e3; }, 1);
+  t.print();
+
+  std::printf("\n[12] cited: Conv1..5 = 31.29 23.58 39.29 36.30 32.95 ms, "
+              "163.4 ms total, 187.8 GOPS, 0.24 GOPS/mult, 9.63 W, "
+              "19.50 GOPS/W\n");
+
+  std::printf("\nHeadline ratios (ours m=4 vs [3]):\n");
+  const double tp_ratio = evals[4].throughput_ops / evals[0].throughput_ops;
+  std::printf("  throughput  %.2fx (paper 4.75x)\n", tp_ratio);
+  std::printf("  multipliers %.2fx (paper 2.67x)\n",
+              static_cast<double>(evals[4].multipliers) /
+                  static_cast<double>(evals[0].multipliers));
+  const double pe2 = evals[2].throughput_ops / 1e9 / watts[2];
+  std::printf("  power-eff ours m=2 vs [3]a: %.2fx (paper 1.44x; note the\n"
+              "  paper's printed 41.34 GOPS/W for ours m=2 is inconsistent\n"
+              "  with its own 619.2 GOPS / 13.03 W = 47.52 — see "
+              "EXPERIMENTS.md)\n",
+              pe2 / (evals[1].throughput_ops / 1e9 / watts[1]));
+
+  // Cycle-exact cross-check of the Eq 9 latency model.
+  std::printf("\nCycle-simulator cross-check (exact tiling/grouping):\n");
+  for (const auto& d : designs) {
+    wino::hw::EngineConfig cfg;
+    cfg.m = d.point.m;
+    cfg.r = 3;
+    cfg.parallel_pes = d.point.parallel_pes;
+    cfg.style = d.point.style;
+    const wino::hw::WinogradEngine engine(cfg);
+    const auto stats = engine.run_workload_timing(net);
+    std::printf("  %-9s m=%d P=%-3zu  sim %.2f ms (Eq 9 model %.2f ms, "
+                "PE util %.1f%%)\n",
+                d.paper.name, d.point.m, d.point.parallel_pes,
+                stats.latency_s(200e6) * 1e3,
+                dse.evaluate(d.point).total_latency_s * 1e3,
+                100.0 * stats.pe_utilization);
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Image filtering on the simulated accelerator.
+//
+// Drives the cycle-level Winograd engine (src/hw) with a classic filter
+// bank — Sobel-x, Sobel-y, Laplacian, Gaussian blur — over a synthetic
+// image, writes the results as PGM files, and reports the cycle counts the
+// engine took, comparing against the paper's Eq 9. This is the
+// "accelerator as a component" view: a host prepares kernels/tiles, the
+// engine computes, statistics come back with the data.
+//
+// Usage: ./examples/edge_detect_hw [out_dir]
+#include <cfloat>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "hw/winograd_engine.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using wino::tensor::Tensor4f;
+
+/// Synthetic test card: gradient background, bright circle, dark square.
+Tensor4f make_test_image(std::size_t size) {
+  Tensor4f img(1, 1, size, size);
+  const auto s = static_cast<double>(size);
+  for (std::size_t y = 0; y < size; ++y) {
+    for (std::size_t x = 0; x < size; ++x) {
+      double v = 0.25 + 0.5 * static_cast<double>(x) / s;
+      const double dx = static_cast<double>(x) - 0.35 * s;
+      const double dy = static_cast<double>(y) - 0.4 * s;
+      if (std::sqrt(dx * dx + dy * dy) < 0.18 * s) v = 0.95;
+      if (x > 0.6 * s && x < 0.85 * s && y > 0.55 * s && y < 0.8 * s) {
+        v = 0.05;
+      }
+      img(0, 0, y, x) = static_cast<float>(v);
+    }
+  }
+  return img;
+}
+
+void write_pgm(const std::string& path, const Tensor4f& t, std::size_t k) {
+  const auto& s = t.shape();
+  float lo = FLT_MAX;
+  float hi = -FLT_MAX;
+  for (std::size_t y = 0; y < s.h; ++y) {
+    for (std::size_t x = 0; x < s.w; ++x) {
+      lo = std::min(lo, t(0, k, y, x));
+      hi = std::max(hi, t(0, k, y, x));
+    }
+  }
+  const float range = hi > lo ? hi - lo : 1.0F;
+  std::ofstream out(path, std::ios::binary);
+  out << "P5\n" << s.w << " " << s.h << "\n255\n";
+  for (std::size_t y = 0; y < s.h; ++y) {
+    for (std::size_t x = 0; x < s.w; ++x) {
+      const float v = (t(0, k, y, x) - lo) / range;
+      out.put(static_cast<char>(std::lround(255.0F * v)));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+
+  const Tensor4f image = make_test_image(128);
+
+  // The filter bank: one engine pass applies all four kernels in parallel
+  // PEs, exactly as the paper's engine applies P kernel tiles per cycle.
+  Tensor4f kernels(4, 1, 3, 3);
+  const float sobel_x[9] = {-1, 0, 1, -2, 0, 2, -1, 0, 1};
+  const float sobel_y[9] = {-1, -2, -1, 0, 0, 0, 1, 2, 1};
+  const float laplace[9] = {0, 1, 0, 1, -4, 1, 0, 1, 0};
+  const float gauss[9] = {1 / 16.0F, 2 / 16.0F, 1 / 16.0F,
+                          2 / 16.0F, 4 / 16.0F, 2 / 16.0F,
+                          1 / 16.0F, 2 / 16.0F, 1 / 16.0F};
+  const float* banks[4] = {sobel_x, sobel_y, laplace, gauss};
+  const char* names[4] = {"sobel_x", "sobel_y", "laplace", "gauss"};
+  for (std::size_t k = 0; k < 4; ++k) {
+    for (std::size_t i = 0; i < 9; ++i) {
+      kernels(k, 0, i / 3, i % 3) = banks[k][i];
+    }
+  }
+
+  wino::hw::EngineConfig cfg;
+  cfg.m = 4;
+  cfg.r = 3;
+  cfg.parallel_pes = 4;  // one PE per filter
+  const wino::hw::WinogradEngine engine(cfg);
+
+  const auto result = engine.run_layer(image, kernels, /*pad=*/1);
+  const auto& st = result.stats;
+
+  std::printf("Winograd engine F(4x4,3x3), %zu PEs @ %.0f MHz\n",
+              cfg.parallel_pes, cfg.frequency_hz / 1e6);
+  std::printf("image 128x128, 4 filters in one pass:\n");
+  std::printf("  tiles %-6llu issue cycles %-6llu pipeline fill %llu\n",
+              static_cast<unsigned long long>(st.tiles),
+              static_cast<unsigned long long>(st.issue_cycles),
+              static_cast<unsigned long long>(st.pipeline_fill));
+  std::printf("  total %llu cycles = %.1f us; Eq 9 predicts %.0f issue "
+              "cycles\n",
+              static_cast<unsigned long long>(st.total_cycles),
+              st.latency_s(cfg.frequency_hz) * 1e6,
+              128.0 * 128.0 * 1.0 * 4.0 / (16.0 * 4.0));
+  std::printf("  PE utilisation %.0f%%, DRAM traffic %.1f KiB\n\n",
+              100.0 * st.pe_utilization, st.dram_bytes / 1024.0);
+
+  for (std::size_t k = 0; k < 4; ++k) {
+    const std::string path = out_dir + "/edge_" + names[k] + ".pgm";
+    write_pgm(path, result.output, k);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  std::printf("\n(The outputs are computed by the simulated datapath — the "
+              "same arithmetic the RTL would perform.)\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Datapath viewer: prints the straight-line add/shift/multiply programs the
+// library generates for the three transforms of F(m, r) — the textual
+// equivalent of the paper's Fig 4 1-D convolution engine schematic — along
+// with operation counts and pipeline (DAG) depth.
+//
+// Usage: ./examples/print_datapath [m] [r]
+#include <cstdio>
+#include <cstdlib>
+
+#include "winograd/cook_toom.hpp"
+#include "winograd/op_report.hpp"
+#include "winograd/program.hpp"
+
+int main(int argc, char** argv) {
+  const int m = argc > 1 ? std::atoi(argv[1]) : 3;
+  const int r = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  const auto& t = wino::winograd::transforms(m, r);
+  std::printf("F(%d, %d): tile n = %d, interpolation points:", m, r,
+              t.tile());
+  for (const auto& p : t.points) std::printf(" %s", p.to_string().c_str());
+  std::printf("\n\n");
+
+  struct Stage {
+    const char* name;
+    const wino::winograd::RMatrix* matrix;
+  };
+  const Stage stages[] = {{"data transform B^T (Fig 4 left stage)", &t.bt},
+                          {"filter transform G (precomputed)", &t.g},
+                          {"inverse transform A^T (Fig 4 right stage)",
+                           &t.at}};
+  for (const auto& s : stages) {
+    const auto prog =
+        wino::winograd::LinearProgram::from_matrix(*s.matrix, true);
+    const auto& c = prog.counts();
+    std::printf("--- %s ---\n", s.name);
+    std::printf("%s", prog.to_string().c_str());
+    std::printf("cost: %zu adds, %zu shifts (x2^k), %zu const mults, "
+                "%zu negs | DAG depth %zu\n\n",
+                c.adds, c.shifts, c.const_mults, c.negs, prog.dag_depth());
+  }
+
+  const auto rep = wino::winograd::transform_op_report(m, r);
+  std::printf("2-D per-tile op counts (Eq 5 inputs): beta = %zu, "
+              "gamma = %zu, delta = %zu\n",
+              rep.beta(), rep.gamma(), rep.delta());
+  std::printf("element-wise stage: %d fp32 multipliers per PE "
+              "(4 DSP48 each on Virtex-7)\n",
+              t.tile() * t.tile());
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: the library in ~60 lines.
+//
+//  1. Generate a Winograd minimal filtering algorithm F(4x4, 3x3).
+//  2. Convolve a random feature map with it and check against direct
+//     (spatial) convolution.
+//  3. Ask the DSE models what that algorithm buys on VGG16-D.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+
+#include "common/random.hpp"
+#include "conv/spatial.hpp"
+#include "dse/complexity.hpp"
+#include "dse/performance.hpp"
+#include "nn/network.hpp"
+#include "winograd/cook_toom.hpp"
+#include "winograd/kernels.hpp"
+
+int main() {
+  // --- 1. Transforms -----------------------------------------------------
+  const auto& f43 = wino::winograd::transforms(4, 3);
+  std::printf("F(4x4, 3x3): tile %dx%d, %d multiplies per 1-D application\n",
+              f43.tile(), f43.tile(), f43.tile());
+  std::printf("interpolation points:");
+  for (const auto& p : f43.points) std::printf(" %s", p.to_string().c_str());
+  std::printf("\n\n");
+
+  // --- 2. Convolve and verify -------------------------------------------
+  wino::common::Rng rng;
+  wino::tensor::Tensor4f image(1, 8, 32, 32);
+  wino::tensor::Tensor4f kernels(16, 8, 3, 3);
+  rng.fill_uniform(image.flat());
+  rng.fill_uniform(kernels.flat());
+
+  wino::winograd::WinogradConvOptions opt;
+  opt.pad = 1;
+  const auto fast = wino::winograd::conv2d_winograd(image, kernels, 4, opt);
+  const auto ref = wino::conv::conv2d_spatial(image, kernels,
+                                              {.pad = 1, .stride = 1});
+  const float err = wino::tensor::max_abs_diff(fast, ref);
+  std::printf("32x32x8 -> 16 kernels: max |winograd - spatial| = %.2e\n\n",
+              static_cast<double>(err));
+
+  // --- 3. What does it buy? ----------------------------------------------
+  const auto& vgg = wino::nn::vgg16_d();
+  const auto spatial = wino::dse::mult_complexity(vgg, 1);
+  const auto wino4 = wino::dse::mult_complexity(vgg, 4);
+  std::printf("VGG16-D multiplications: spatial %.2fG, F(4x4,3x3) %.2fG "
+              "(%.2fx fewer)\n",
+              static_cast<double>(spatial) / 1e9,
+              static_cast<double>(wino4) / 1e9,
+              static_cast<double>(spatial) / static_cast<double>(wino4));
+
+  const auto alloc = wino::dse::allocate_pes(4, 3, 700);
+  const wino::dse::ClockModel clk{200e6, 12};
+  std::printf("On a 700-multiplier FPGA at 200 MHz: %zu PEs, %.2f ms, "
+              "%.0f GOPS\n",
+              alloc.parallel_pes,
+              wino::dse::workload_latency_s(vgg, 4, alloc.parallel_pes, clk) *
+                  1e3,
+              wino::dse::throughput_ops(vgg, 4, alloc.parallel_pes, clk) /
+                  1e9);
+  return 0;
+}

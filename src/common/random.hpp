@@ -1,0 +1,49 @@
+// Deterministic pseudo-random generators shared by tests, examples and
+// benches. A fixed default seed keeps every reproduction run bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+
+namespace wino::common {
+
+/// Thin wrapper over a mersenne twister with convenience fills. Not
+/// thread-safe; create one per thread.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = kDefaultSeed) : engine_(seed) {}
+
+  static constexpr std::uint64_t kDefaultSeed = 0x5EEDu;
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo = -1.0F, float hi = 1.0F) {
+    return std::uniform_real_distribution<float>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal.
+  float normal(float mean = 0.0F, float stddev = 1.0F) {
+    return std::normal_distribution<float>(mean, stddev)(engine_);
+  }
+
+  void fill_uniform(std::span<float> out, float lo = -1.0F, float hi = 1.0F) {
+    for (float& v : out) v = uniform(lo, hi);
+  }
+
+  void fill_normal(std::span<float> out, float mean = 0.0F,
+                   float stddev = 1.0F) {
+    for (float& v : out) v = normal(mean, stddev);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace wino::common

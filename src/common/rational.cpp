@@ -1,0 +1,141 @@
+#include "common/rational.hpp"
+
+#include <limits>
+
+namespace wino::common {
+
+namespace {
+
+using Wide = __int128;
+
+std::int64_t narrow_checked(Wide value, const char* context) {
+  if (value > std::numeric_limits<std::int64_t>::max() ||
+      value < std::numeric_limits<std::int64_t>::min()) {
+    throw RationalError(std::string("rational overflow in ") + context);
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+Wide wide_gcd(Wide a, Wide b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const Wide t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+void Rational::normalize() {
+  if (den_ == 0) {
+    throw RationalError("zero denominator");
+  }
+  if (den_ < 0) {
+    if (num_ == std::numeric_limits<std::int64_t>::min() ||
+        den_ == std::numeric_limits<std::int64_t>::min()) {
+      throw RationalError("rational overflow negating INT64_MIN");
+    }
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const std::int64_t g = std::gcd(num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+bool Rational::is_pow2_scaled() const {
+  if (num_ == 0) return false;
+  const auto is_pow2 = [](std::int64_t v) {
+    return v > 0 && (v & (v - 1)) == 0;
+  };
+  const std::int64_t n = num_ < 0 ? -num_ : num_;
+  // den_ > 0 by invariant; exactly one of numerator/denominator may carry a
+  // non-trivial power of two because the fraction is reduced.
+  return is_pow2(n) && is_pow2(den_);
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = narrow_checked(-static_cast<Wide>(num_), "negation");
+  r.den_ = den_;
+  return r;
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  const Wide n = static_cast<Wide>(num_) * rhs.den_ +
+                 static_cast<Wide>(rhs.num_) * den_;
+  const Wide d = static_cast<Wide>(den_) * rhs.den_;
+  const Wide g = wide_gcd(n, d);
+  if (g > 1) {
+    num_ = narrow_checked(n / g, "addition");
+    den_ = narrow_checked(d / g, "addition");
+  } else {
+    num_ = narrow_checked(n, "addition");
+    den_ = narrow_checked(d, "addition");
+  }
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) { return *this += -rhs; }
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  const Wide n = static_cast<Wide>(num_) * rhs.num_;
+  const Wide d = static_cast<Wide>(den_) * rhs.den_;
+  const Wide g = wide_gcd(n, d);
+  if (g > 1) {
+    num_ = narrow_checked(n / g, "multiplication");
+    den_ = narrow_checked(d / g, "multiplication");
+  } else {
+    num_ = narrow_checked(n, "multiplication");
+    den_ = narrow_checked(d, "multiplication");
+  }
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  if (rhs.num_ == 0) throw RationalError("division by zero");
+  return *this *= rhs.reciprocal();
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  const Wide lhs = static_cast<Wide>(a.num_) * b.den_;
+  const Wide rhs = static_cast<Wide>(b.num_) * a.den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+Rational Rational::reciprocal() const {
+  if (num_ == 0) throw RationalError("reciprocal of zero");
+  return Rational(den_, num_);
+}
+
+Rational Rational::abs() const { return num_ < 0 ? -*this : *this; }
+
+Rational Rational::pow(int exponent) const {
+  if (exponent < 0) {
+    throw RationalError("negative exponent; use reciprocal().pow(-e)");
+  }
+  Rational result(1);
+  Rational base = *this;
+  for (int e = exponent; e > 0; e >>= 1) {
+    if (e & 1) result *= base;
+    if (e > 1) base *= base;
+  }
+  return result;
+}
+
+}  // namespace wino::common

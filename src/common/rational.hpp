@@ -1,0 +1,108 @@
+// Exact rational arithmetic over 64-bit integers with overflow checking.
+//
+// The Cook-Toom construction of Winograd minimal-filtering transforms
+// (src/winograd/cook_toom.hpp) requires exact arithmetic: Vandermonde-style
+// systems over small rational interpolation points (0, +-1, +-2, +-1/2, ...)
+// must be inverted without rounding so that the generated transform matrices
+// are the canonical integer/rational matrices of Lavin's paper, not floating
+// point approximations. All intermediates are computed in __int128 and
+// checked before narrowing back to int64, so any overflow is a hard error
+// rather than silent corruption.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace wino::common {
+
+/// Thrown when a rational operation would overflow its 64-bit representation
+/// or divide by zero.
+class RationalError : public std::runtime_error {
+ public:
+  explicit RationalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An exact rational number p/q with q > 0 and gcd(|p|, q) == 1.
+///
+/// Invariants are re-established after every operation; default construction
+/// yields 0/1. The class is a regular value type (copyable, comparable,
+/// hashable via num()/den()).
+class Rational {
+ public:
+  constexpr Rational() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit
+  // promotion from integers, mirroring built-in arithmetic.
+  constexpr Rational(std::int64_t value) : num_(value), den_(1) {}
+  Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+    normalize();
+  }
+
+  [[nodiscard]] constexpr std::int64_t num() const { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const { return den_; }
+
+  [[nodiscard]] constexpr bool is_zero() const { return num_ == 0; }
+  [[nodiscard]] constexpr bool is_one() const {
+    return num_ == 1 && den_ == 1;
+  }
+  [[nodiscard]] constexpr bool is_integer() const { return den_ == 1; }
+
+  /// True when |value| is an integral power of two (including 2^0 == 1) or
+  /// the reciprocal of one; such constants are realisable as shifts in
+  /// hardware and are costed differently by the transform-program builder.
+  [[nodiscard]] bool is_pow2_scaled() const;
+
+  [[nodiscard]] double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  Rational operator-() const;
+  Rational& operator+=(const Rational& rhs);
+  Rational& operator-=(const Rational& rhs);
+  Rational& operator*=(const Rational& rhs);
+  Rational& operator/=(const Rational& rhs);
+
+  friend Rational operator+(Rational lhs, const Rational& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  friend Rational operator-(Rational lhs, const Rational& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+  friend Rational operator*(Rational lhs, const Rational& rhs) {
+    lhs *= rhs;
+    return lhs;
+  }
+  friend Rational operator/(Rational lhs, const Rational& rhs) {
+    lhs /= rhs;
+    return lhs;
+  }
+
+  friend constexpr bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a,
+                                          const Rational& b);
+
+  /// Exact reciprocal; throws RationalError on zero.
+  [[nodiscard]] Rational reciprocal() const;
+
+  /// |this|.
+  [[nodiscard]] Rational abs() const;
+
+  /// this^e for e >= 0 (0^0 == 1 by convention, matching Vandermonde rows).
+  [[nodiscard]] Rational pow(int exponent) const;
+
+ private:
+  void normalize();
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+}  // namespace wino::common

@@ -1,0 +1,67 @@
+// Minimal fixed-width text table writer used by the bench harnesses to print
+// paper tables/figures as aligned rows. Kept dependency-free so every bench
+// binary renders identically.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace wino::common {
+
+/// Accumulates rows of string cells and prints them with per-column widths.
+/// First row added via header() is separated from the body by a rule.
+class TextTable {
+ public:
+  void header(std::vector<std::string> cells) {
+    header_ = std::move(cells);
+    grow_widths(header_);
+  }
+
+  void row(std::vector<std::string> cells) {
+    grow_widths(cells);
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Format a double with fixed precision; convenience for numeric cells.
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    if (!header_.empty()) {
+      print_row(os, header_);
+      std::size_t total = 0;
+      for (std::size_t w : widths_) total += w + 2;
+      os << std::string(total, '-') << '\n';
+    }
+    for (const auto& r : rows_) print_row(os, r);
+  }
+
+ private:
+  void grow_widths(const std::vector<std::string>& cells) {
+    if (widths_.size() < cells.size()) widths_.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths_[i] = std::max(widths_[i], cells[i].size());
+    }
+  }
+
+  void print_row(std::ostream& os,
+                 const std::vector<std::string>& cells) const {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths_[i]) + 2)
+         << cells[i];
+    }
+    os << '\n';
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> widths_;
+};
+
+}  // namespace wino::common

@@ -1,0 +1,139 @@
+#include "conv/fft.hpp"
+
+#include <numbers>
+#include <stdexcept>
+
+namespace wino::conv {
+
+using tensor::Tensor4f;
+using Cplx = std::complex<double>;
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_pow2(std::span<Cplx> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft_pow2: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const Cplx wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Cplx w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const Cplx u = data[i + j];
+        const Cplx v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (Cplx& x : data) x *= scale;
+  }
+}
+
+void fft2d(std::span<Cplx> grid, std::size_t size, bool inverse) {
+  if (grid.size() != size * size) {
+    throw std::invalid_argument("fft2d: grid size mismatch");
+  }
+  // Rows in place.
+  for (std::size_t r = 0; r < size; ++r) {
+    fft_pow2(grid.subspan(r * size, size), inverse);
+  }
+  // Columns via gather/scatter.
+  std::vector<Cplx> col(size);
+  for (std::size_t c = 0; c < size; ++c) {
+    for (std::size_t r = 0; r < size; ++r) col[r] = grid[r * size + c];
+    fft_pow2(col, inverse);
+    for (std::size_t r = 0; r < size; ++r) grid[r * size + c] = col[r];
+  }
+}
+
+Tensor4f conv2d_fft(const Tensor4f& input, const Tensor4f& kernels,
+                    const SpatialConvOptions& opt) {
+  const auto& is = input.shape();
+  const auto& ks = kernels.shape();
+  if (ks.c != is.c) {
+    throw std::invalid_argument("conv2d_fft: channel mismatch");
+  }
+  if (ks.h != ks.w) throw std::invalid_argument("conv2d_fft: non-square");
+  const std::size_t r = ks.h;
+  const std::size_t out_h = conv_out_extent(is.h, r, opt.pad, opt.stride);
+  const std::size_t out_w = conv_out_extent(is.w, r, opt.pad, opt.stride);
+
+  const std::size_t fft_size = next_pow2(std::max(is.h, is.w) + r - 1);
+  const std::size_t grid = fft_size * fft_size;
+
+  // Pre-transform all kernels, spatially flipped so the frequency-domain
+  // product implements cross-correlation.
+  std::vector<std::vector<Cplx>> kernel_f(ks.n * ks.c);
+  for (std::size_t k = 0; k < ks.n; ++k) {
+    for (std::size_t c = 0; c < ks.c; ++c) {
+      auto& buf = kernel_f[k * ks.c + c];
+      buf.assign(grid, Cplx{});
+      for (std::size_t u = 0; u < r; ++u) {
+        for (std::size_t v = 0; v < r; ++v) {
+          buf[(r - 1 - u) * fft_size + (r - 1 - v)] =
+              static_cast<double>(kernels(k, c, u, v));
+        }
+      }
+      fft2d(buf, fft_size, false);
+    }
+  }
+
+  Tensor4f out(is.n, ks.n, out_h, out_w);
+  std::vector<std::vector<Cplx>> input_f(is.c);
+  std::vector<Cplx> acc(grid);
+  for (std::size_t img = 0; img < is.n; ++img) {
+    for (std::size_t c = 0; c < is.c; ++c) {
+      auto& buf = input_f[c];
+      buf.assign(grid, Cplx{});
+      for (std::size_t y = 0; y < is.h; ++y) {
+        for (std::size_t x = 0; x < is.w; ++x) {
+          buf[y * fft_size + x] = static_cast<double>(input(img, c, y, x));
+        }
+      }
+      fft2d(buf, fft_size, false);
+    }
+    for (std::size_t k = 0; k < ks.n; ++k) {
+      std::fill(acc.begin(), acc.end(), Cplx{});
+      for (std::size_t c = 0; c < is.c; ++c) {
+        const auto& df = input_f[c];
+        const auto& gf = kernel_f[k * ks.c + c];
+        for (std::size_t i = 0; i < grid; ++i) acc[i] += df[i] * gf[i];
+      }
+      fft2d(acc, fft_size, true);
+      // Linear convolution with the flipped kernel puts correlation output
+      // (0,0) at index (r-1-pad, r-1-pad).
+      const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(r) - 1 - opt.pad;
+      for (std::size_t oy = 0; oy < out_h; ++oy) {
+        for (std::size_t ox = 0; ox < out_w; ++ox) {
+          const auto iy = static_cast<std::size_t>(
+              off + static_cast<std::ptrdiff_t>(oy) * opt.stride);
+          const auto ix = static_cast<std::size_t>(
+              off + static_cast<std::ptrdiff_t>(ox) * opt.stride);
+          out(img, k, oy, ox) =
+              static_cast<float>(acc[iy * fft_size + ix].real());
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wino::conv

@@ -1,0 +1,37 @@
+// FFT-based convolution baseline (the approach of Vasilache et al., the
+// paper's reference [6]), built on an in-repo radix-2 complex FFT.
+//
+// The paper's argument for Winograd over FFT is that FFT savings only
+// materialise for large kernels; this module lets the benchmarks make that
+// comparison concrete (see bench/micro_conv_kernels.cpp).
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "conv/spatial.hpp"
+#include "tensor/tensor.hpp"
+
+namespace wino::conv {
+
+/// In-place iterative radix-2 decimation-in-time FFT. data.size() must be a
+/// power of two. `inverse` applies the conjugate transform including the
+/// 1/N scale.
+void fft_pow2(std::span<std::complex<double>> data, bool inverse);
+
+/// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n);
+
+/// 2-D FFT over a row-major size x size complex grid (size a power of two).
+void fft2d(std::span<std::complex<double>> grid, std::size_t size,
+           bool inverse);
+
+/// Convolution computed per (image, k): accumulate over channels in the
+/// frequency domain, one inverse FFT per output plane. Kernels are flipped
+/// internally so the result matches cross-correlation conv2d_spatial.
+tensor::Tensor4f conv2d_fft(const tensor::Tensor4f& input,
+                            const tensor::Tensor4f& kernels,
+                            const SpatialConvOptions& opt = {});
+
+}  // namespace wino::conv

@@ -1,0 +1,97 @@
+#include "conv/im2col.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace wino::conv {
+
+using tensor::Tensor4f;
+
+void gemm(std::span<const float> a, std::span<const float> b,
+          std::span<float> c, std::size_t rows, std::size_t inner,
+          std::size_t cols) {
+  if (a.size() != rows * inner || b.size() != inner * cols ||
+      c.size() != rows * cols) {
+    throw std::invalid_argument("gemm: size mismatch");
+  }
+  std::fill(c.begin(), c.end(), 0.0F);
+  // ikj loop order keeps the B row hot and vectorisable.
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t k = 0; k < inner; ++k) {
+      const float aik = a[i * inner + k];
+      if (aik == 0.0F) continue;
+      const float* brow = &b[k * cols];
+      float* crow = &c[i * cols];
+      for (std::size_t j = 0; j < cols; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void im2col(const Tensor4f& input, std::size_t image, std::size_t r, int pad,
+            int stride, std::span<float> out_patches) {
+  const auto& is = input.shape();
+  const std::size_t out_h = conv_out_extent(is.h, r, pad, stride);
+  const std::size_t out_w = conv_out_extent(is.w, r, pad, stride);
+  const std::size_t patch_rows = is.c * r * r;
+  const std::size_t patch_cols = out_h * out_w;
+  if (out_patches.size() != patch_rows * patch_cols) {
+    throw std::invalid_argument("im2col: output span size mismatch");
+  }
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < is.c; ++c) {
+    for (std::size_t u = 0; u < r; ++u) {
+      for (std::size_t v = 0; v < r; ++v, ++row) {
+        std::size_t col = 0;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy) * stride +
+              static_cast<std::ptrdiff_t>(u) - pad;
+          for (std::size_t ox = 0; ox < out_w; ++ox, ++col) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox) * stride +
+                static_cast<std::ptrdiff_t>(v) - pad;
+            out_patches[row * patch_cols + col] =
+                input.padded(image, c, iy, ix);
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor4f conv2d_im2col(const Tensor4f& input, const Tensor4f& kernels,
+                       const SpatialConvOptions& opt) {
+  const auto& is = input.shape();
+  const auto& ks = kernels.shape();
+  if (ks.c != is.c) {
+    throw std::invalid_argument("conv2d_im2col: channel mismatch");
+  }
+  if (ks.h != ks.w) {
+    throw std::invalid_argument("conv2d_im2col: non-square kernel");
+  }
+  const std::size_t r = ks.h;
+  const std::size_t out_h = conv_out_extent(is.h, r, opt.pad, opt.stride);
+  const std::size_t out_w = conv_out_extent(is.w, r, opt.pad, opt.stride);
+  const std::size_t inner = is.c * r * r;
+  const std::size_t cols = out_h * out_w;
+
+  // Kernel bank flattened as K x (C*r*r); kernels are stored KCrr
+  // contiguously, so the flat view is already the GEMM A matrix.
+  std::span<const float> a = kernels.flat();
+
+  Tensor4f out(is.n, ks.n, out_h, out_w);
+  std::vector<float> patches(inner * cols);
+  std::vector<float> result(ks.n * cols);
+  for (std::size_t img = 0; img < is.n; ++img) {
+    im2col(input, img, r, opt.pad, opt.stride, patches);
+    gemm(a, patches, result, ks.n, inner, cols);
+    for (std::size_t k = 0; k < ks.n; ++k) {
+      for (std::size_t i = 0; i < cols; ++i) {
+        out(img, k, i / out_w, i % out_w) = result[k * cols + i];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wino::conv

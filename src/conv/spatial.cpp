@@ -1,0 +1,57 @@
+#include "conv/spatial.hpp"
+
+#include <stdexcept>
+
+namespace wino::conv {
+
+using tensor::Tensor4f;
+
+std::size_t conv_out_extent(std::size_t in, std::size_t kernel, int pad,
+                            int stride) {
+  if (stride < 1) throw std::invalid_argument("stride must be >= 1");
+  const std::ptrdiff_t padded =
+      static_cast<std::ptrdiff_t>(in) + 2 * pad -
+      static_cast<std::ptrdiff_t>(kernel);
+  if (padded < 0) throw std::invalid_argument("kernel larger than input");
+  return static_cast<std::size_t>(padded) / static_cast<std::size_t>(stride) +
+         1;
+}
+
+Tensor4f conv2d_spatial(const Tensor4f& input, const Tensor4f& kernels,
+                        const SpatialConvOptions& opt) {
+  const auto& is = input.shape();
+  const auto& ks = kernels.shape();
+  if (ks.c != is.c) {
+    throw std::invalid_argument("conv2d_spatial: channel mismatch");
+  }
+  const std::size_t out_h = conv_out_extent(is.h, ks.h, opt.pad, opt.stride);
+  const std::size_t out_w = conv_out_extent(is.w, ks.w, opt.pad, opt.stride);
+
+  Tensor4f out(is.n, ks.n, out_h, out_w);
+  for (std::size_t img = 0; img < is.n; ++img) {
+    for (std::size_t k = 0; k < ks.n; ++k) {
+      for (std::size_t oy = 0; oy < out_h; ++oy) {
+        for (std::size_t ox = 0; ox < out_w; ++ox) {
+          float acc = 0.0F;
+          for (std::size_t c = 0; c < is.c; ++c) {
+            for (std::size_t u = 0; u < ks.h; ++u) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy) * opt.stride +
+                  static_cast<std::ptrdiff_t>(u) - opt.pad;
+              for (std::size_t v = 0; v < ks.w; ++v) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox) * opt.stride +
+                    static_cast<std::ptrdiff_t>(v) - opt.pad;
+                acc += input.padded(img, c, iy, ix) * kernels(k, c, u, v);
+              }
+            }
+          }
+          out(img, k, oy, ox) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wino::conv

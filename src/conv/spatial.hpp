@@ -1,0 +1,27 @@
+// Direct (spatial) convolution — the paper's Eq 1 and the ground truth
+// every fast path in this library is validated against.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace wino::conv {
+
+struct SpatialConvOptions {
+  int pad = 0;     ///< symmetric zero padding
+  int stride = 1;  ///< spatial stride (Winograd paths require stride 1)
+};
+
+/// Cross-correlation of an NCHW input with a KCrr kernel bank (CNN
+/// convention, matching the paper's Eq 1):
+///   Y[i,k,x,y] = sum_c sum_v sum_u D[i,c,x*s+u-pad,y*s+v-pad] G[k,c,u,v]
+/// Out-of-range reads are zero.
+tensor::Tensor4f conv2d_spatial(const tensor::Tensor4f& input,
+                                const tensor::Tensor4f& kernels,
+                                const SpatialConvOptions& opt = {});
+
+/// Output spatial extent for given input extent / kernel / pad / stride;
+/// throws if non-positive.
+std::size_t conv_out_extent(std::size_t in, std::size_t kernel, int pad,
+                            int stride);
+
+}  // namespace wino::conv

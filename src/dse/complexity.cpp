@@ -1,0 +1,114 @@
+#include "dse/complexity.hpp"
+
+#include <stdexcept>
+
+namespace wino::dse {
+
+TransformCosts TransformCosts::from_generated(int m, int r, bool optimised) {
+  const auto rep = winograd::transform_op_report(m, r, optimised);
+  return TransformCosts{rep.beta(), rep.gamma(), rep.delta()};
+}
+
+TransformCosts TransformCosts::lavin_f2x2_3x3() {
+  return TransformCosts{32, 28, 24};
+}
+
+std::size_t mult_complexity(const nn::ConvLayerSpec& layer, int m,
+                            std::size_t batch) {
+  if (m < 1) throw std::invalid_argument("mult_complexity: m must be >= 1");
+  const auto mu = static_cast<std::size_t>(m);
+  const std::size_t tile = mu + layer.r - 1;
+  // Tile count per output plane, computed exactly for divisible extents and
+  // as the paper's continuous H*W/m^2 model otherwise (VGG extents divide
+  // all m in {1,2,4,7}; for others the difference is edge tiles, which the
+  // cycle simulator accounts for separately).
+  const std::size_t outputs = layer.out_h() * layer.out_w();
+  return batch * outputs * layer.c * layer.k * tile * tile / (mu * mu);
+}
+
+std::size_t mult_complexity(const nn::ConvGroup& group, int m,
+                            std::size_t batch) {
+  std::size_t total = 0;
+  for (const auto& l : group.layers) total += mult_complexity(l, m, batch);
+  return total;
+}
+
+std::size_t mult_complexity(const nn::ConvWorkload& net, int m,
+                            std::size_t batch) {
+  std::size_t total = 0;
+  for (const auto& g : net.groups) total += mult_complexity(g, m, batch);
+  return total;
+}
+
+TransformComplexity transform_complexity(const nn::ConvLayerSpec& layer,
+                                         int m, const TransformCosts& costs,
+                                         std::size_t batch) {
+  if (m < 1) throw std::invalid_argument("transform_complexity: bad m");
+  const double m2 = static_cast<double>(m) * static_cast<double>(m);
+  const double nhw =
+      static_cast<double>(batch * layer.out_h() * layer.out_w());
+  TransformComplexity t;
+  t.data = static_cast<double>(costs.beta) / m2 * nhw *
+           static_cast<double>(layer.c);
+  t.filter = static_cast<double>(costs.gamma) *
+             static_cast<double>(layer.c * layer.k);
+  t.inverse = static_cast<double>(costs.delta) / m2 * nhw *
+              static_cast<double>(layer.k);
+  return t;
+}
+
+TransformComplexity transform_complexity(const nn::ConvWorkload& net, int m,
+                                         const TransformCosts& costs,
+                                         std::size_t batch) {
+  TransformComplexity total;
+  for (const auto& l : net.all_layers()) {
+    const TransformComplexity t = transform_complexity(l, m, costs, batch);
+    total.data += t.data;
+    total.filter += t.filter;
+    total.inverse += t.inverse;
+  }
+  return total;
+}
+
+double implementation_transform_complexity(const nn::ConvWorkload& net,
+                                           int m, const TransformCosts& costs,
+                                           std::size_t parallel_pes,
+                                           std::size_t batch) {
+  if (parallel_pes == 0) {
+    throw std::invalid_argument("implementation_transform_complexity: P = 0");
+  }
+  const double m2 = static_cast<double>(m) * static_cast<double>(m);
+  double total = 0;
+  for (const auto& l : net.all_layers()) {
+    const double nhwck = static_cast<double>(
+        batch * l.out_h() * l.out_w() * l.c * l.k);
+    total += nhwck / m2 *
+             (static_cast<double>(costs.beta) /
+                  static_cast<double>(parallel_pes) +
+              static_cast<double>(costs.delta));
+  }
+  return total;
+}
+
+double reference_transform_complexity(const nn::ConvWorkload& net, int m,
+                                      const TransformCosts& costs,
+                                      std::size_t batch) {
+  return implementation_transform_complexity(net, m, costs, 1, batch);
+}
+
+double transform_overhead_ratio(int m, int r, const TransformCosts& costs,
+                                std::size_t parallel_pes,
+                                bool shared_data_transform) {
+  if (parallel_pes == 0) {
+    throw std::invalid_argument("transform_overhead_ratio: P = 0");
+  }
+  const double p_eff =
+      shared_data_transform ? static_cast<double>(parallel_pes) : 1.0;
+  const double per_tile = static_cast<double>(costs.beta) / p_eff +
+                          static_cast<double>(costs.gamma) +
+                          static_cast<double>(costs.delta);
+  return per_tile / (static_cast<double>(m) * static_cast<double>(m) *
+                     static_cast<double>(r) * static_cast<double>(r));
+}
+
+}  // namespace wino::dse

@@ -1,0 +1,76 @@
+#include "dse/design_space.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wino::dse {
+
+DesignSpaceExplorer::DesignSpaceExplorer(const nn::ConvWorkload& workload,
+                                         const fpga::FpgaDevice& device,
+                                         std::size_t pipeline_depth)
+    : workload_(workload), device_(device), estimator_(device),
+      power_(estimator_), pipeline_depth_(pipeline_depth) {}
+
+DesignEvaluation DesignSpaceExplorer::evaluate(
+    const DesignPoint& point) const {
+  DesignEvaluation ev;
+  ev.point = point;
+  ev.parallel_pes = point.parallel_pes != 0
+                        ? point.parallel_pes
+                        : estimator_.max_pes(point.m, point.r, point.style);
+  if (ev.parallel_pes == 0) {
+    throw std::invalid_argument("evaluate: design does not fit the device");
+  }
+  const auto tile = static_cast<std::size_t>(point.m + point.r - 1);
+  ev.multipliers = ev.parallel_pes * tile * tile;
+
+  const ClockModel clk{point.frequency_hz, pipeline_depth_};
+  for (const auto& g : workload_.groups) {
+    ev.group_latency_s.push_back(
+        group_latency_s(g, point.m, ev.parallel_pes, clk));
+  }
+  ev.total_latency_s =
+      workload_latency_s(workload_, point.m, ev.parallel_pes, clk);
+  ev.throughput_ops =
+      static_cast<double>(workload_.spatial_ops()) / ev.total_latency_s;
+  ev.mult_efficiency =
+      ev.throughput_ops / static_cast<double>(ev.multipliers);
+  ev.resources =
+      estimator_.estimate(point.m, point.r, ev.parallel_pes, point.style);
+  ev.power_w = power_.predict_w(ev.resources, point.frequency_hz);
+  ev.power_efficiency = ev.throughput_ops / ev.power_w;
+  return ev;
+}
+
+std::vector<DesignEvaluation> DesignSpaceExplorer::sweep_m(int m_lo,
+                                                           int m_hi) const {
+  std::vector<DesignEvaluation> out;
+  for (int m = m_lo; m <= m_hi; ++m) {
+    DesignPoint p;
+    p.m = m;
+    if (estimator_.max_pes(m, p.r, p.style) == 0) continue;
+    out.push_back(evaluate(p));
+  }
+  return out;
+}
+
+std::vector<DesignEvaluation> DesignSpaceExplorer::pareto_front(
+    const std::vector<DesignEvaluation>& evals) {
+  std::vector<DesignEvaluation> front;
+  for (const auto& cand : evals) {
+    const bool dominated = std::any_of(
+        evals.begin(), evals.end(), [&](const DesignEvaluation& other) {
+          const bool geq =
+              other.throughput_ops >= cand.throughput_ops &&
+              other.power_efficiency >= cand.power_efficiency;
+          const bool gt =
+              other.throughput_ops > cand.throughput_ops ||
+              other.power_efficiency > cand.power_efficiency;
+          return geq && gt;
+        });
+    if (!dominated) front.push_back(cand);
+  }
+  return front;
+}
+
+}  // namespace wino::dse

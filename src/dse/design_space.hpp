@@ -1,0 +1,78 @@
+// End-to-end design-point evaluation: ties the complexity, performance,
+// resource and power models together, producing exactly the quantities the
+// paper's Table II reports, plus Pareto-frontier selection over the swept
+// space.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dse/complexity.hpp"
+#include "dse/performance.hpp"
+#include "fpga/power.hpp"
+#include "fpga/resources.hpp"
+#include "nn/network.hpp"
+
+namespace wino::dse {
+
+/// A candidate accelerator configuration.
+struct DesignPoint {
+  int m = 2;
+  int r = 3;
+  std::size_t parallel_pes = 0;  ///< 0 = fit as many as the device allows
+  fpga::EngineStyle style = fpga::EngineStyle::kSharedDataTransform;
+  double frequency_hz = 200e6;
+};
+
+/// Everything the paper's Table II reports for one design, per conv group
+/// and overall.
+struct DesignEvaluation {
+  DesignPoint point;
+  std::size_t parallel_pes = 0;
+  std::size_t multipliers = 0;
+  std::vector<double> group_latency_s;  ///< per ConvGroup
+  double total_latency_s = 0;
+  double throughput_ops = 0;            ///< GOPS when divided by 1e9
+  double mult_efficiency = 0;           ///< ops/s per multiplier
+  fpga::ResourceReport resources;
+  double power_w = 0;
+  double power_efficiency = 0;          ///< ops/s per watt
+};
+
+/// Evaluation context bundling the workload and calibrated models.
+class DesignSpaceExplorer {
+ public:
+  DesignSpaceExplorer(const nn::ConvWorkload& workload,
+                      const fpga::FpgaDevice& device,
+                      std::size_t pipeline_depth = 12);
+
+  [[nodiscard]] DesignEvaluation evaluate(const DesignPoint& point) const;
+
+  /// Sweep m over [m_lo, m_hi] with device-fitted PE counts; returns one
+  /// evaluation per m.
+  [[nodiscard]] std::vector<DesignEvaluation> sweep_m(int m_lo,
+                                                      int m_hi) const;
+
+  /// Non-dominated subset under (maximise throughput, maximise power
+  /// efficiency). Ties kept.
+  [[nodiscard]] static std::vector<DesignEvaluation> pareto_front(
+      const std::vector<DesignEvaluation>& evals);
+
+  [[nodiscard]] const fpga::ResourceEstimator& estimator() const {
+    return estimator_;
+  }
+  [[nodiscard]] const fpga::PowerModel& power_model() const {
+    return power_;
+  }
+  [[nodiscard]] const nn::ConvWorkload& workload() const { return workload_; }
+
+ private:
+  const nn::ConvWorkload& workload_;
+  const fpga::FpgaDevice& device_;
+  fpga::ResourceEstimator estimator_;
+  fpga::PowerModel power_;
+  std::size_t pipeline_depth_;
+};
+
+}  // namespace wino::dse

@@ -1,0 +1,95 @@
+#include "dse/performance.hpp"
+
+#include <stdexcept>
+
+namespace wino::dse {
+
+PeAllocation allocate_pes(int m, int r, std::size_t multipliers_total) {
+  if (m < 1 || r < 1) throw std::invalid_argument("allocate_pes: bad m/r");
+  PeAllocation a;
+  a.m = m;
+  a.r = r;
+  a.multipliers_total = multipliers_total;
+  const auto tile = static_cast<std::size_t>(m + r - 1);
+  a.multipliers_per_pe = tile * tile;
+  a.parallel_pes = multipliers_total / a.multipliers_per_pe;
+  a.multipliers_used = a.parallel_pes * a.multipliers_per_pe;
+  return a;
+}
+
+double allocate_pes_continuous(int m, int r, std::size_t multipliers_total) {
+  const auto tile = static_cast<double>(m + r - 1);
+  return static_cast<double>(multipliers_total) / (tile * tile);
+}
+
+double layer_cycles(const nn::ConvLayerSpec& layer, int m,
+                    std::size_t parallel_pes, std::size_t batch) {
+  if (parallel_pes == 0) throw std::invalid_argument("layer_cycles: P = 0");
+  const double nhwck = static_cast<double>(batch * layer.out_h() *
+                                           layer.out_w() * layer.c * layer.k);
+  const double m2 = static_cast<double>(m) * static_cast<double>(m);
+  return nhwck / (m2 * static_cast<double>(parallel_pes));
+}
+
+double layer_latency_s(const nn::ConvLayerSpec& layer, int m,
+                       std::size_t parallel_pes, const ClockModel& clk,
+                       std::size_t batch) {
+  const double cycles = layer_cycles(layer, m, parallel_pes, batch) +
+                        static_cast<double>(clk.pipeline_depth) - 1.0;
+  return cycles * clk.cycle_time_s();
+}
+
+double group_latency_s(const nn::ConvGroup& group, int m,
+                       std::size_t parallel_pes, const ClockModel& clk,
+                       std::size_t batch) {
+  double total = 0;
+  for (const auto& l : group.layers) {
+    total += layer_latency_s(l, m, parallel_pes, clk, batch);
+  }
+  return total;
+}
+
+double workload_latency_s(const nn::ConvWorkload& net, int m,
+                          std::size_t parallel_pes, const ClockModel& clk,
+                          std::size_t batch) {
+  double total = 0;
+  for (const auto& g : net.groups) {
+    total += group_latency_s(g, m, parallel_pes, clk, batch);
+  }
+  return total;
+}
+
+double throughput_ops(const nn::ConvWorkload& net, int m,
+                      std::size_t parallel_pes, const ClockModel& clk,
+                      std::size_t batch) {
+  const double os = static_cast<double>(net.spatial_ops(batch));
+  const double tt = workload_latency_s(net, m, parallel_pes, clk, batch);
+  return os / tt;
+}
+
+double steady_state_throughput_ops(int m, int r, double pe_parallelism,
+                                   double frequency_hz) {
+  // Each PE delivers m^2 outputs per cycle; each output is worth
+  // 2 r^2 spatial ops (multiply + accumulate).
+  return 2.0 * static_cast<double>(r) * static_cast<double>(r) *
+         static_cast<double>(m) * static_cast<double>(m) * pe_parallelism *
+         frequency_hz;
+}
+
+double fig6_throughput_ops(int m, int r, std::size_t multipliers_total,
+                           double frequency_hz) {
+  // The paper computes the 256-multiplier column (floored P for spatial,
+  // continuous P for Winograd) and scales the 512/1024 columns linearly
+  // from it — its spatial value at 1024 multipliers is 4 x 100.8 = 403.2
+  // GOPS, not the 406.8 GOPS that flooring 1024/9 would give.
+  constexpr std::size_t kBaseMultipliers = 256;
+  const double base_p =
+      m == 1 ? static_cast<double>(
+                   allocate_pes(1, r, kBaseMultipliers).parallel_pes)
+             : allocate_pes_continuous(m, r, kBaseMultipliers);
+  const double scale = static_cast<double>(multipliers_total) /
+                       static_cast<double>(kBaseMultipliers);
+  return steady_state_throughput_ops(m, r, base_p * scale, frequency_hz);
+}
+
+}  // namespace wino::dse

@@ -1,0 +1,71 @@
+// Performance models of Section III-D / IV-D: PE allocation (Eq 8), total
+// latency (Eq 9), and system throughput (Eq 10).
+#pragma once
+
+#include <cstddef>
+
+#include "nn/network.hpp"
+
+namespace wino::dse {
+
+/// Eq 8: parallelism for a multiplier budget. Each PE of F(m x m, r x r)
+/// consumes (m + r - 1)^2 multipliers.
+struct PeAllocation {
+  int m = 0;
+  int r = 0;
+  std::size_t multipliers_total = 0;     ///< mT
+  std::size_t multipliers_per_pe = 0;    ///< (m + r - 1)^2
+  std::size_t parallel_pes = 0;          ///< P = floor(mT / per-PE)
+  std::size_t multipliers_used = 0;      ///< P * per-PE
+};
+
+PeAllocation allocate_pes(int m, int r, std::size_t multipliers_total);
+
+/// Continuous relaxation of Eq 8 (P = mT / (m+r-1)^2 without flooring).
+/// The paper's Fig 6 Winograd series use this; its spatial series floors.
+double allocate_pes_continuous(int m, int r, std::size_t multipliers_total);
+
+/// Clock + pipeline model shared by the latency equations.
+struct ClockModel {
+  double frequency_hz = 200e6;        ///< paper designs run at 200 MHz
+  std::size_t pipeline_depth = 12;    ///< Dp in Eq 9
+
+  [[nodiscard]] double cycle_time_s() const { return 1.0 / frequency_hz; }
+};
+
+/// Eq 9 cycle count for one layer: N*H*W*C*K / (m^2 * P). The pipeline
+/// fill (Dp - 1) is added once per layer invocation.
+double layer_cycles(const nn::ConvLayerSpec& layer, int m,
+                    std::size_t parallel_pes, std::size_t batch = 1);
+
+/// Eq 9 latency in seconds for a layer / group / workload.
+double layer_latency_s(const nn::ConvLayerSpec& layer, int m,
+                       std::size_t parallel_pes, const ClockModel& clk,
+                       std::size_t batch = 1);
+double group_latency_s(const nn::ConvGroup& group, int m,
+                       std::size_t parallel_pes, const ClockModel& clk,
+                       std::size_t batch = 1);
+double workload_latency_s(const nn::ConvWorkload& net, int m,
+                          std::size_t parallel_pes, const ClockModel& clk,
+                          std::size_t batch = 1);
+
+/// Eq 10: throughput = O_S / Tt where O_S counts spatial-convolution
+/// multiply+add ops (so all designs are compared on delivered convolution
+/// work, not internal ops). Result in ops/second.
+double throughput_ops(const nn::ConvWorkload& net, int m,
+                      std::size_t parallel_pes, const ClockModel& clk,
+                      std::size_t batch = 1);
+
+/// Closed-form steady-state throughput of the engine (ignores pipeline
+/// fill): 2 r^2 m^2 P f ops/s. Fig 6 is this quantity; `pe_parallelism`
+/// may be fractional to reproduce the paper's continuous-P bars.
+double steady_state_throughput_ops(int m, int r, double pe_parallelism,
+                                   double frequency_hz);
+
+/// One bar of the paper's Fig 6: Winograd entries (m >= 2) use continuous
+/// P; the spatial entry (m == 1) uses floored P, matching the published
+/// values (100.8 GOPS for 256 multipliers at 200 MHz, etc.).
+double fig6_throughput_ops(int m, int r, std::size_t multipliers_total,
+                           double frequency_hz);
+
+}  // namespace wino::dse

@@ -1,0 +1,51 @@
+#include "dse/roofline.hpp"
+
+#include "dse/performance.hpp"
+
+namespace wino::dse {
+
+TrafficModel layer_traffic(const nn::ConvLayerSpec& layer, int m,
+                           std::size_t bytes_per_element, std::size_t batch) {
+  const auto b = static_cast<double>(bytes_per_element);
+  const auto tile = static_cast<double>(m + static_cast<int>(layer.r) - 1);
+  TrafficModel t;
+  t.bytes_in = static_cast<double>(batch * layer.h * layer.w * layer.c) * b;
+  t.bytes_kernels =
+      static_cast<double>(layer.k * layer.c) * tile * tile * b;
+  t.bytes_out =
+      static_cast<double>(batch * layer.out_h() * layer.out_w() * layer.k) *
+      b;
+  return t;
+}
+
+double arithmetic_intensity(const nn::ConvLayerSpec& layer, int m,
+                            std::size_t bytes_per_element,
+                            std::size_t batch) {
+  const double ops = static_cast<double>(layer.spatial_ops(batch));
+  return ops / layer_traffic(layer, m, bytes_per_element, batch).total();
+}
+
+RooflinePoint roofline(const nn::ConvLayerSpec& layer, int m, int r,
+                       std::size_t parallel_pes, double frequency_hz,
+                       double dram_bytes_per_s,
+                       std::size_t bytes_per_element, std::size_t batch) {
+  RooflinePoint p;
+  p.intensity = arithmetic_intensity(layer, m, bytes_per_element, batch);
+  p.compute_roof = steady_state_throughput_ops(
+      m, r, static_cast<double>(parallel_pes), frequency_hz);
+  p.memory_roof = p.intensity * dram_bytes_per_s;
+  p.memory_bound = p.memory_roof < p.compute_roof;
+  p.attainable = p.memory_bound ? p.memory_roof : p.compute_roof;
+  return p;
+}
+
+double required_bandwidth(const nn::ConvLayerSpec& layer, int m, int r,
+                          std::size_t parallel_pes, double frequency_hz,
+                          std::size_t bytes_per_element, std::size_t batch) {
+  const double compute = steady_state_throughput_ops(
+      m, r, static_cast<double>(parallel_pes), frequency_hz);
+  return compute /
+         arithmetic_intensity(layer, m, bytes_per_element, batch);
+}
+
+}  // namespace wino::dse

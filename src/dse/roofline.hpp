@@ -1,0 +1,60 @@
+// Roofline model for the Winograd engine: attainable throughput as the
+// minimum of the compute roof (Eq 10 steady state) and the memory roof
+// (arithmetic intensity x DRAM bandwidth).
+//
+// The paper assumes "enough memory bandwidth is available to refill both
+// buffers" (Section V-B); the roofline quantifies exactly how much is
+// enough, and the cycle simulator (src/hw) exposes the stalls when it is
+// not.
+#pragma once
+
+#include "nn/network.hpp"
+
+namespace wino::dse {
+
+/// Data-movement model for one layer pass through the engine with
+/// double-buffered image and kernel buffers:
+///  * input feature map read once: N*H*W*C elements,
+///  * pre-transformed kernels read once per layer: K*C*(m+r-1)^2 elements
+///    (they stream into the kernel buffers per K/P group),
+///  * output feature map written once: N*outH*outW*K.
+struct TrafficModel {
+  double bytes_in = 0;
+  double bytes_kernels = 0;
+  double bytes_out = 0;
+  [[nodiscard]] double total() const {
+    return bytes_in + bytes_kernels + bytes_out;
+  }
+};
+
+TrafficModel layer_traffic(const nn::ConvLayerSpec& layer, int m,
+                           std::size_t bytes_per_element = 4,
+                           std::size_t batch = 1);
+
+/// Delivered spatial-equivalent ops per byte moved.
+double arithmetic_intensity(const nn::ConvLayerSpec& layer, int m,
+                            std::size_t bytes_per_element = 4,
+                            std::size_t batch = 1);
+
+struct RooflinePoint {
+  double intensity = 0;        ///< ops/byte
+  double compute_roof = 0;     ///< ops/s
+  double memory_roof = 0;      ///< ops/s at this intensity
+  double attainable = 0;       ///< min of the two
+  bool memory_bound = false;
+};
+
+/// Evaluate a layer against an engine configuration.
+RooflinePoint roofline(const nn::ConvLayerSpec& layer, int m, int r,
+                       std::size_t parallel_pes, double frequency_hz,
+                       double dram_bytes_per_s,
+                       std::size_t bytes_per_element = 4,
+                       std::size_t batch = 1);
+
+/// Minimum DRAM bandwidth (bytes/s) for the layer to stay compute-bound.
+double required_bandwidth(const nn::ConvLayerSpec& layer, int m, int r,
+                          std::size_t parallel_pes, double frequency_hz,
+                          std::size_t bytes_per_element = 4,
+                          std::size_t batch = 1);
+
+}  // namespace wino::dse

@@ -1,0 +1,45 @@
+#include "fpga/bram.hpp"
+
+namespace wino::fpga {
+
+namespace {
+constexpr std::size_t kBytesPerElement = 4;  // fp32
+constexpr std::size_t kBram36Bytes = 36 * 1024 / 8;
+}  // namespace
+
+BufferReport buffer_requirements(int m, int r, std::size_t parallel_pes,
+                                 const nn::ConvLayerSpec& layer) {
+  const auto n = static_cast<std::size_t>(m + r - 1);
+  const auto mm = static_cast<std::size_t>(m);
+  BufferReport b;
+  b.image_bytes = n * layer.w * layer.c * kBytesPerElement;
+  b.kernel_bytes =
+      2 * parallel_pes * layer.c * n * n * kBytesPerElement;
+  b.accum_bytes = 2 * parallel_pes * mm * mm * kBytesPerElement;
+  return b;
+}
+
+BufferReport worst_buffer_requirements(int m, int r,
+                                       std::size_t parallel_pes,
+                                       const nn::ConvWorkload& net) {
+  BufferReport worst;
+  for (const auto& l : net.all_layers()) {
+    const BufferReport b = buffer_requirements(m, r, parallel_pes, l);
+    if (b.total() > worst.total()) worst = b;
+  }
+  return worst;
+}
+
+std::size_t bram36_blocks(std::size_t bytes) {
+  return (bytes + kBram36Bytes - 1) / kBram36Bytes;
+}
+
+bool buffers_fit(const FpgaDevice& device, int m, int r,
+                 std::size_t parallel_pes, const nn::ConvWorkload& net) {
+  const BufferReport worst =
+      worst_buffer_requirements(m, r, parallel_pes, net);
+  const std::size_t device_bytes = device.bram_kb * 1024 / 8;
+  return worst.total() <= device_bytes;
+}
+
+}  // namespace wino::fpga

@@ -1,0 +1,50 @@
+// On-chip buffer sizing and BRAM accounting for the engine of Fig 7.
+//
+// The analytic performance model assumes the image, kernel and
+// accumulation buffers exist; this model says how big they are for a given
+// layer and design point, how many 36 Kb BRAM blocks they consume, and
+// whether the design still fits the device — the third resource dimension
+// (after LUT/FF and DSP) of the design space.
+#pragma once
+
+#include <cstddef>
+
+#include "fpga/device.hpp"
+#include "nn/network.hpp"
+
+namespace wino::fpga {
+
+/// Byte sizes of the engine's on-chip buffers for one layer (fp32).
+struct BufferReport {
+  /// Line-buffered image window: (m+r-1) rows x W x C elements — the
+  /// engine revisits the same tile for every channel before moving on, so
+  /// the window must hold all channels of those rows.
+  std::size_t image_bytes = 0;
+  /// Kernel (V) buffers: 2 banks (double buffering) x P x C x (m+r-1)^2.
+  std::size_t kernel_bytes = 0;
+  /// Accumulation buffers: P x m^2, double-buffered for writeback overlap.
+  std::size_t accum_bytes = 0;
+
+  [[nodiscard]] std::size_t total() const {
+    return image_bytes + kernel_bytes + accum_bytes;
+  }
+};
+
+/// Buffer requirement of F(m x m, r x r) with P PEs on `layer`.
+BufferReport buffer_requirements(int m, int r, std::size_t parallel_pes,
+                                 const nn::ConvLayerSpec& layer);
+
+/// The worst (largest total) buffer requirement across a workload.
+BufferReport worst_buffer_requirements(int m, int r,
+                                       std::size_t parallel_pes,
+                                       const nn::ConvWorkload& net);
+
+/// 36 Kb block-RAM count for a byte requirement (ceil per buffer bank).
+std::size_t bram36_blocks(std::size_t bytes);
+
+/// True when the worst-case buffers of the workload fit the device's
+/// BRAM capacity (device.bram_kb is in Kbit).
+bool buffers_fit(const FpgaDevice& device, int m, int r,
+                 std::size_t parallel_pes, const nn::ConvWorkload& net);
+
+}  // namespace wino::fpga

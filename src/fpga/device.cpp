@@ -1,0 +1,27 @@
+#include "fpga/device.hpp"
+
+namespace wino::fpga {
+
+const FpgaDevice& virtex7_485t() {
+  static const FpgaDevice d{"Virtex-7 485T", 303600, 607200, 2800, 37080, 4};
+  return d;
+}
+
+const FpgaDevice& virtex7_690t() {
+  static const FpgaDevice d{"Virtex-7 690T", 433200, 866400, 3600, 52920, 4};
+  return d;
+}
+
+const FpgaDevice& stratix_v_gt() {
+  // ALM counts mapped onto the LUT/FF slots; DSP blocks on Stratix V
+  // implement one fp32 multiply per block pair.
+  static const FpgaDevice d{"Stratix V GT", 234720, 938880, 512, 51200, 2};
+  return d;
+}
+
+const FpgaDevice& zynq_7045() {
+  static const FpgaDevice d{"Zynq-7045", 218600, 437200, 900, 19080, 4};
+  return d;
+}
+
+}  // namespace wino::fpga

@@ -1,0 +1,42 @@
+// FPGA device resource models. The paper synthesises on a Xilinx Virtex-7
+// part with 303,600 LUTs / 607,200 registers / 2,800 DSP48 slices (the
+// "Available resources" row of Table I) and treats one single-precision
+// floating-point multiplier as 4 DSP slices (684 multipliers <-> 2,736
+// DSPs throughout Tables I and II).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace wino::fpga {
+
+struct FpgaDevice {
+  std::string name;
+  std::size_t luts = 0;
+  std::size_t registers = 0;
+  std::size_t dsps = 0;
+  std::size_t bram_kb = 0;
+
+  /// DSP slices consumed by one fp32 multiplier on this family.
+  std::size_t dsps_per_fp32_mult = 4;
+
+  /// fp32 multipliers realisable from the DSP budget.
+  [[nodiscard]] std::size_t fp32_multipliers() const {
+    return dsps / dsps_per_fp32_mult;
+  }
+};
+
+/// The paper's target (Table I "Available resources"): 303,600 LUTs,
+/// 607,200 FFs, 2,800 DSPs -> 700 fp32 multipliers.
+const FpgaDevice& virtex7_485t();
+
+/// Larger Virtex-7 for headroom studies.
+const FpgaDevice& virtex7_690t();
+
+/// Altera Stratix V GT-class model (the platform of reference [3]).
+const FpgaDevice& stratix_v_gt();
+
+/// A small Zynq-class device (reference [12] uses an embedded platform).
+const FpgaDevice& zynq_7045();
+
+}  // namespace wino::fpga

@@ -1,0 +1,155 @@
+#include "fpga/power.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wino::fpga {
+
+namespace {
+
+std::array<double, 4> features(const ResourceReport& r) {
+  return {1.0, static_cast<double>(r.luts) / 1e3,
+          static_cast<double>(r.registers) / 1e3,
+          static_cast<double>(r.dsps) / 1e3};
+}
+
+/// Solve the 4x4 linear system a x = b by Gaussian elimination with
+/// partial pivoting. Rows corresponding to `frozen` coefficients are
+/// replaced by identity pins at zero.
+std::array<double, 4> solve_normal_equations(
+    const std::vector<std::array<double, 4>>& rows,
+    const std::vector<double>& rhs, const std::array<bool, 4>& frozen) {
+  constexpr std::size_t kN = 4;
+  double a[kN][kN] = {};
+  double b[kN] = {};
+  for (std::size_t s = 0; s < rows.size(); ++s) {
+    for (std::size_t i = 0; i < kN; ++i) {
+      b[i] += rows[s][i] * rhs[s];
+      for (std::size_t j = 0; j < kN; ++j) a[i][j] += rows[s][i] * rows[s][j];
+    }
+  }
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (frozen[i]) {
+      for (std::size_t j = 0; j < kN; ++j) {
+        a[i][j] = i == j ? 1.0 : 0.0;
+        a[j][i] = i == j ? 1.0 : 0.0;
+      }
+      b[i] = 0.0;
+    }
+  }
+  // Elimination.
+  std::array<std::size_t, kN> perm{0, 1, 2, 3};
+  for (std::size_t col = 0; col < kN; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < kN; ++r) {
+      if (std::abs(a[perm[r]][col]) > std::abs(a[perm[piv]][col])) piv = r;
+    }
+    std::swap(perm[col], perm[piv]);
+    const double diag = a[perm[col]][col];
+    if (std::abs(diag) < 1e-12) {
+      throw std::logic_error("power fit: singular normal equations");
+    }
+    for (std::size_t r = 0; r < kN; ++r) {
+      if (r == col) continue;
+      const double f = a[perm[r]][col] / diag;
+      if (f == 0.0) continue;
+      for (std::size_t c = 0; c < kN; ++c) a[perm[r]][c] -= f * a[perm[col]][c];
+      b[perm[r]] -= f * b[perm[col]];
+    }
+  }
+  std::array<double, 4> x{};
+  for (std::size_t i = 0; i < kN; ++i) x[i] = b[perm[i]] / a[perm[i]][i];
+  return x;
+}
+
+}  // namespace
+
+std::vector<PowerSample> paper_power_samples(
+    const ResourceEstimator& estimator) {
+  struct Point {
+    int m;
+    std::size_t pes;
+    EngineStyle style;
+    double watts;
+  };
+  // The three power figures the authors synthesised themselves (their
+  // proposed designs on the Virtex-7). Table II's other power entries are
+  // citations from other platforms ([3] on Stratix V, [12] on Zynq) or the
+  // paper's own multiplier-count normalisation ([3]a = 8.04 W * 688/256 =
+  // 21.61 W, see scaled_reference_power_w) and are not fitted here.
+  const Point points[] = {
+      {2, 43, EngineStyle::kSharedDataTransform, 13.03},
+      {3, 28, EngineStyle::kSharedDataTransform, 23.96},
+      {4, 19, EngineStyle::kSharedDataTransform, 36.32},
+  };
+  std::vector<PowerSample> samples;
+  // Static-power anchor: an idle Virtex-7 class device draws on the order
+  // of 1.5 W; pinning the zero-utilisation point keeps the intercept
+  // physical (the three design points alone extrapolate to a negative
+  // static power).
+  samples.push_back({ResourceReport{}, 1.5});
+  for (const auto& p : points) {
+    samples.push_back(
+        {estimator.estimate(p.m, 3, p.pes, p.style), p.watts});
+  }
+  return samples;
+}
+
+double scaled_reference_power_w(std::size_t multipliers) {
+  return 8.04 * static_cast<double>(multipliers) / 256.0;
+}
+
+PowerModel::PowerModel(const ResourceEstimator& estimator)
+    : PowerModel(paper_power_samples(estimator)) {}
+
+PowerModel::PowerModel(const std::vector<PowerSample>& samples) {
+  if (samples.size() < 4) {
+    throw std::invalid_argument("PowerModel: need >= 4 samples");
+  }
+  calibration_ = samples;
+  fit(samples);
+}
+
+void PowerModel::fit(const std::vector<PowerSample>& samples) {
+  std::vector<std::array<double, 4>> rows;
+  std::vector<double> rhs;
+  for (const auto& s : samples) {
+    rows.push_back(features(s.resources));
+    rhs.push_back(s.watts);
+  }
+  std::array<bool, 4> frozen{false, false, false, false};
+  for (int iter = 0; iter < 4; ++iter) {
+    coef_ = solve_normal_equations(rows, rhs, frozen);
+    bool clamped = false;
+    for (std::size_t i = 0; i < coef_.size(); ++i) {
+      if (coef_[i] < 0.0 && !frozen[i]) {
+        frozen[i] = true;
+        clamped = true;
+      }
+    }
+    if (!clamped) return;
+  }
+  coef_ = solve_normal_equations(rows, rhs, frozen);
+}
+
+double PowerModel::predict_w(const ResourceReport& r,
+                             double frequency_hz) const {
+  const auto f = features(r);
+  const double dynamic =
+      coef_[1] * f[1] + coef_[2] * f[2] + coef_[3] * f[3];
+  return coef_[0] + dynamic * (frequency_hz / 200e6);
+}
+
+double PowerModel::max_calibration_rel_error() const {
+  double worst = 0;
+  for (const auto& s : calibration_) {
+    if (s.resources.luts == 0 && s.resources.dsps == 0) {
+      continue;  // synthetic static-power anchor, not a design point
+    }
+    const double pred = predict_w(s.resources);
+    worst = std::max(worst, std::abs(pred - s.watts) / s.watts);
+  }
+  return worst;
+}
+
+}  // namespace wino::fpga

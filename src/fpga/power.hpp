@@ -1,0 +1,70 @@
+// Power model for the synthesised engines.
+//
+// Substitution note (DESIGN.md section 2): the paper reports board-level
+// power from synthesis; with no board we fit a linear utilisation model
+//   P(W) = c_static + c_lut * LUT + c_ff * FF + c_dsp * DSP
+// (coefficients per kilo-resource, at the paper's 200 MHz) by least squares
+// over the five fp32 design points whose power Table II publishes:
+//   [3]  m=2 P=16 : 8.04 W      [3]a m=2 P=43 : 21.61 W
+//   ours m=2 P=43 : 13.03 W     ours m=3 P=28 : 23.96 W
+//   ours m=4 P=19 : 36.32 W
+// Resource vectors come from the calibrated ResourceEstimator. Negative
+// coefficients are clamped to zero and the fit repeated (tiny NNLS), so
+// predictions are monotone in utilisation. Dynamic terms scale linearly
+// with clock frequency around the 200 MHz calibration point.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "fpga/resources.hpp"
+
+namespace wino::fpga {
+
+/// One calibration or evaluation point.
+struct PowerSample {
+  ResourceReport resources;
+  double watts = 0;  ///< published value (calibration) or prediction
+};
+
+class PowerModel {
+ public:
+  /// Fit against the paper's five published design points using the given
+  /// estimator for their resource vectors.
+  explicit PowerModel(const ResourceEstimator& estimator);
+
+  /// Fit from explicit samples (>= number of free coefficients).
+  explicit PowerModel(const std::vector<PowerSample>& samples);
+
+  /// Predicted power in watts at `frequency_hz` (calibrated at 200 MHz).
+  [[nodiscard]] double predict_w(const ResourceReport& r,
+                                 double frequency_hz = 200e6) const;
+
+  /// Coefficients: {static W, W per kLUT, W per kFF, W per kDSP}.
+  [[nodiscard]] const std::array<double, 4>& coefficients() const {
+    return coef_;
+  }
+
+  /// Largest relative error across the calibration samples; documented in
+  /// EXPERIMENTS.md as the model's fidelity bound.
+  [[nodiscard]] double max_calibration_rel_error() const;
+
+ private:
+  void fit(const std::vector<PowerSample>& samples);
+
+  std::array<double, 4> coef_{};
+  std::vector<PowerSample> calibration_;
+};
+
+/// The four genuinely measured published calibration points (resources
+/// estimated with `estimator`, watts from Table II).
+std::vector<PowerSample> paper_power_samples(
+    const ResourceEstimator& estimator);
+
+/// The paper's normalisation rule for the scaled reference design [3]a:
+/// power scales with multiplier count from the measured 256-multiplier
+/// point (8.04 W * 688/256 = 21.61 W in Table II).
+double scaled_reference_power_w(std::size_t multipliers);
+
+}  // namespace wino::fpga

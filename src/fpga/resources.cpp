@@ -1,0 +1,115 @@
+#include "fpga/resources.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "winograd/op_report.hpp"
+
+namespace wino::fpga {
+
+namespace {
+
+// Published synthesis points (paper Table I, 19 PEs, F(4x4, 3x3), fp32).
+constexpr double kTable1Pes = 19.0;
+constexpr double kOursLuts = 107839.0;
+constexpr double kRefLuts = 232256.0;
+constexpr double kOursRegs = 76500.0;
+constexpr double kRefRegs = 97052.0;
+// Fixed buffer/control register allowance (image/kernel buffer pointers,
+// FSM state); everything else is explained by per-op/per-mult terms.
+constexpr double kFixedRegs = 2048.0;
+
+struct TileOps {
+  double data = 0;     ///< 2-D data transform ops per tile
+  double inverse = 0;  ///< 2-D inverse transform ops per tile
+  double mults = 0;    ///< element-wise fp32 multiplies per tile
+};
+
+TileOps tile_ops(int m, int r) {
+  const auto rep = winograd::transform_op_report(m, r, /*optimised=*/true);
+  const auto n = static_cast<double>(m + r - 1);
+  // hw_ops: adders and generic constant multipliers consume logic; +-2^k
+  // scalings are exponent shifts (the paper's "shifters") and are folded
+  // into the adjacent adder's input stage.
+  return TileOps{static_cast<double>(rep.data_2d.hw_ops()),
+                 static_cast<double>(rep.inverse_2d.hw_ops()), n * n};
+}
+
+}  // namespace
+
+ResourceEstimator::ResourceEstimator(const FpgaDevice& device)
+    : device_(device) {
+  const TileOps f43 = tile_ops(4, 3);
+
+  // LUTs: the ref design instantiates the data transform in all P PEs, the
+  // proposed design once; the difference isolates LUTs-per-transform-op.
+  const double lut_data_block = (kRefLuts - kOursLuts) / (kTable1Pes - 1.0);
+  luts_per_op_ = lut_data_block / f43.data;
+  luts_per_mult_ =
+      (kOursLuts - lut_data_block - kTable1Pes * f43.inverse * luts_per_op_) /
+      (kTable1Pes * f43.mults);
+
+  // Registers: same structure, with a fixed buffer/control allowance.
+  const double ff_data_block = (kRefRegs - kOursRegs) / (kTable1Pes - 1.0);
+  ffs_per_op_ = ff_data_block / f43.data;
+  ffs_per_mult_ = (kOursRegs - kFixedRegs - ff_data_block -
+                   kTable1Pes * f43.inverse * ffs_per_op_) /
+                  (kTable1Pes * f43.mults);
+  ffs_fixed_ = kFixedRegs;
+
+  if (luts_per_op_ <= 0 || luts_per_mult_ <= 0 || ffs_per_op_ <= 0 ||
+      ffs_per_mult_ <= 0) {
+    throw std::logic_error(
+        "ResourceEstimator calibration produced non-physical coefficients");
+  }
+}
+
+ResourceReport ResourceEstimator::estimate(int m, int r, std::size_t pes,
+                                           EngineStyle style) const {
+  if (pes == 0) throw std::invalid_argument("estimate: pes must be > 0");
+  const TileOps ops = tile_ops(m, r);
+  const double p = static_cast<double>(pes);
+
+  const double data_block_luts = ops.data * luts_per_op_;
+  const double data_block_ffs = ops.data * ffs_per_op_;
+  double pe_luts = ops.mults * luts_per_mult_ + ops.inverse * luts_per_op_;
+  double pe_ffs = ops.mults * ffs_per_mult_ + ops.inverse * ffs_per_op_;
+  double shared_luts = data_block_luts;
+  double shared_ffs = data_block_ffs + ffs_fixed_;
+  if (style == EngineStyle::kPerPeDataTransform) {
+    pe_luts += data_block_luts;
+    pe_ffs += data_block_ffs;
+    shared_luts = 0;
+    shared_ffs = ffs_fixed_;
+  }
+
+  ResourceReport rep;
+  rep.luts = static_cast<std::size_t>(std::llround(p * pe_luts + shared_luts));
+  rep.registers =
+      static_cast<std::size_t>(std::llround(p * pe_ffs + shared_ffs));
+  rep.fp32_multipliers =
+      pes * static_cast<std::size_t>(ops.mults);
+  rep.dsps = rep.fp32_multipliers * device_.dsps_per_fp32_mult;
+  rep.luts_per_pe = static_cast<std::size_t>(std::llround(pe_luts));
+  rep.registers_per_pe = static_cast<std::size_t>(std::llround(pe_ffs));
+  return rep;
+}
+
+std::size_t ResourceEstimator::max_pes(int m, int r,
+                                       EngineStyle style) const {
+  const auto tile = static_cast<std::size_t>(m + r - 1);
+  const std::size_t by_dsp =
+      device_.dsps / (device_.dsps_per_fp32_mult * tile * tile);
+  std::size_t best = 0;
+  for (std::size_t p = 1; p <= by_dsp; ++p) {
+    const ResourceReport rep = estimate(m, r, p, style);
+    if (rep.luts > device_.luts || rep.registers > device_.registers ||
+        rep.dsps > device_.dsps) {
+      break;
+    }
+    best = p;
+  }
+  return best;
+}
+
+}  // namespace wino::fpga

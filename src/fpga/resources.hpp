@@ -1,0 +1,66 @@
+// Resource estimation for Winograd convolution engines.
+//
+// Substitution note (DESIGN.md section 2): with no Vivado available, the
+// estimator is an analytic model driven by the *operation counts of the
+// generated transform programs* and calibrated once against the two
+// synthesis points the paper publishes (Table I: the proposed and the
+// reference design at F(4x4, 3x3), 19 PEs). The calibration solves for
+//   * LUTs per transform operation (adders/constant multipliers),
+//   * LUTs per element-wise fp32 multiplier (DSP-assisted glue),
+//   * FFs per transform operation (pipeline registers),
+// so that both Table I rows are matched exactly; every other (m, r, P)
+// configuration is then a prediction of the same model.
+#pragma once
+
+#include <cstddef>
+
+#include "fpga/device.hpp"
+
+namespace wino::fpga {
+
+/// Architectural variant being estimated.
+enum class EngineStyle {
+  kSharedDataTransform,  ///< proposed: one data-transform block feeds P PEs
+  kPerPeDataTransform    ///< reference [3]: each PE owns a data transform
+};
+
+struct ResourceReport {
+  std::size_t luts = 0;
+  std::size_t registers = 0;
+  std::size_t dsps = 0;
+  std::size_t fp32_multipliers = 0;
+  std::size_t luts_per_pe = 0;       ///< marginal LUT cost of one more PE
+  std::size_t registers_per_pe = 0;  ///< marginal FF cost of one more PE
+};
+
+/// Estimator for F(m x m, r x r) engines with P parallel PEs.
+class ResourceEstimator {
+ public:
+  /// Calibrates against the paper's Table I (see file comment). The device
+  /// supplies the DSP-per-multiplier policy.
+  explicit ResourceEstimator(const FpgaDevice& device = virtex7_485t());
+
+  [[nodiscard]] ResourceReport estimate(int m, int r, std::size_t pes,
+                                        EngineStyle style) const;
+
+  /// Maximum PEs that fit the device for F(m x m, r x r) under the given
+  /// style, considering DSPs, LUTs and FFs. For the paper's device this
+  /// gives 43 / 28 / 19 PEs for m = 2 / 3 / 4 (Table II).
+  [[nodiscard]] std::size_t max_pes(int m, int r, EngineStyle style) const;
+
+  /// Calibrated coefficients (exposed for tests / documentation).
+  [[nodiscard]] double luts_per_op() const { return luts_per_op_; }
+  [[nodiscard]] double luts_per_mult() const { return luts_per_mult_; }
+  [[nodiscard]] double ffs_per_op() const { return ffs_per_op_; }
+  [[nodiscard]] double ffs_per_mult() const { return ffs_per_mult_; }
+
+ private:
+  const FpgaDevice& device_;
+  double luts_per_op_ = 0;    ///< LUTs per transform add/const-mult
+  double luts_per_mult_ = 0;  ///< LUT glue per fp32 multiplier
+  double ffs_per_op_ = 0;     ///< FFs per transform op (pipeline regs)
+  double ffs_per_mult_ = 0;   ///< FFs per fp32 multiplier
+  double ffs_fixed_ = 0;      ///< buffers/control FFs independent of P
+};
+
+}  // namespace wino::fpga

@@ -1,0 +1,52 @@
+#include "hw/engine_config.hpp"
+
+#include <stdexcept>
+
+#include "dse/performance.hpp"
+
+namespace wino::hw {
+
+EngineConfig EngineConfig::resolved() const {
+  EngineConfig c = *this;
+  const auto rep = winograd::transform_op_report(c.m, c.r);
+  // A 2-D transform is two chained 1-D passes; each DAG level is one
+  // pipeline register stage, with at least one stage per pass.
+  if (c.data_transform_latency == 0) {
+    c.data_transform_latency = 2 * std::max<std::size_t>(1, rep.data_depth);
+  }
+  if (c.inverse_latency == 0) {
+    c.inverse_latency = 2 * std::max<std::size_t>(1, rep.inverse_depth);
+  }
+  return c;
+}
+
+std::size_t EngineConfig::pipeline_depth() const {
+  const EngineConfig c = resolved();
+  return c.data_transform_latency + c.ewmult_latency + c.inverse_latency +
+         c.accumulate_latency;
+}
+
+EngineConfig proposed_engine(int m, std::size_t total_multipliers,
+                             double frequency_hz) {
+  const auto alloc = dse::allocate_pes(m, 3, total_multipliers);
+  if (alloc.parallel_pes == 0) {
+    throw std::invalid_argument(
+        "proposed_engine: multiplier budget below one PE");
+  }
+  EngineConfig c;
+  c.m = m;
+  c.r = 3;
+  c.parallel_pes = alloc.parallel_pes;
+  c.frequency_hz = frequency_hz;
+  c.style = fpga::EngineStyle::kSharedDataTransform;
+  return c.resolved();
+}
+
+EngineConfig reference_engine(std::size_t total_multipliers,
+                              double frequency_hz) {
+  EngineConfig c = proposed_engine(2, total_multipliers, frequency_hz);
+  c.style = fpga::EngineStyle::kPerPeDataTransform;
+  return c;
+}
+
+}  // namespace wino::hw

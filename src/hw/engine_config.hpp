@@ -1,0 +1,68 @@
+// Configuration of the simulated Winograd convolution engine (the paper's
+// Fig 4/5/7 architecture).
+//
+// The engine processes, every cycle, one (m+r-1)^2 input tile for one
+// channel: the shared data-transform stage produces U, which is broadcast
+// to P parallel PEs; PE p multiplies U element-wise with its pre-loaded
+// kernel transform V[k_p][c] and inverse-transforms; per-PE accumulation
+// buffers sum over the C channels (post-inverse accumulation, as drawn in
+// Fig 7). Kernel groups of P are processed in ceil(K/P) passes with
+// double-buffered kernel/image buffers.
+#pragma once
+
+#include <cstddef>
+
+#include "fpga/resources.hpp"
+#include "winograd/op_report.hpp"
+
+namespace wino::hw {
+
+struct EngineConfig {
+  int m = 3;
+  int r = 3;
+  std::size_t parallel_pes = 4;
+  double frequency_hz = 200e6;
+
+  /// Architectural variant; affects resources (and the per-PE data
+  /// transform wastes logic), not timing — the paper's Table II shows
+  /// identical latency for both styles at equal multiplier count.
+  fpga::EngineStyle style = fpga::EngineStyle::kSharedDataTransform;
+
+  /// Pipeline stage latencies in cycles. Zero means "derive from the
+  /// transform program DAG depth" (one register level per DAG level).
+  std::size_t data_transform_latency = 0;
+  std::size_t ewmult_latency = 3;  ///< fp32 multiplier pipeline
+  std::size_t inverse_latency = 0;
+  std::size_t accumulate_latency = 1;
+
+  /// Off-chip bandwidth in bytes per cycle (fp32 elements are 4 bytes).
+  /// Default models the paper's Section V-B assumption of "enough memory
+  /// bandwidth ... without having to wait".
+  double dram_bytes_per_cycle = 1e18;
+
+  /// When true (the paper's assumption), kernel/image buffer refills for
+  /// the next kernel group overlap compute of the current one and only
+  /// the excess stalls; when false every refill serialises with compute.
+  bool double_buffering = true;
+
+  [[nodiscard]] std::size_t tile() const {
+    return static_cast<std::size_t>(m + r - 1);
+  }
+
+  /// Total pipeline depth Dp of Eq 9 (fill cycles before the first output).
+  [[nodiscard]] std::size_t pipeline_depth() const;
+
+  /// Stage latencies with zeros replaced by DAG-depth defaults.
+  [[nodiscard]] EngineConfig resolved() const;
+};
+
+/// The engine of the paper's proposed design for a given order m, sized to
+/// the device's multiplier budget via Eq 8.
+EngineConfig proposed_engine(int m, std::size_t total_multipliers,
+                             double frequency_hz = 200e6);
+
+/// The reference engine of [3]: F(2x2, 3x3) with per-PE data transforms.
+EngineConfig reference_engine(std::size_t total_multipliers,
+                              double frequency_hz = 200e6);
+
+}  // namespace wino::hw

@@ -1,0 +1,106 @@
+#include "hw/line_buffer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wino::hw {
+
+LineBuffer::LineBuffer(std::size_t width, int m, int r, int pad)
+    : width_(width), n_(static_cast<std::size_t>(m + r - 1)),
+      m_(static_cast<std::size_t>(m)), pad_(pad) {
+  if (width == 0 || m < 1 || r < 1 || pad < 0 || pad >= r) {
+    throw std::invalid_argument("LineBuffer: bad geometry");
+  }
+}
+
+void LineBuffer::push_row(std::span<const float> row) {
+  if (row.size() != width_) {
+    throw std::invalid_argument("LineBuffer::push_row: width mismatch");
+  }
+  window_.emplace_back(row.begin(), row.end());
+  ++rows_pushed_;
+  // Retain only the n most recent rows — the vertical working set of the
+  // current tile row (stride m overlaps r - 1 rows between tile rows).
+  while (window_.size() > n_) {
+    window_.erase(window_.begin());
+    ++window_start_;
+  }
+}
+
+std::size_t LineBuffer::tile_rows_ready() const {
+  // Tile row tr needs image rows up to tr*m - pad + n - 1.
+  std::size_t ready = 0;
+  while (true) {
+    const std::ptrdiff_t bottom =
+        static_cast<std::ptrdiff_t>(ready * m_) - pad_ +
+        static_cast<std::ptrdiff_t>(n_) - 1;
+    if (bottom >= static_cast<std::ptrdiff_t>(rows_pushed_)) break;
+    ++ready;
+  }
+  return ready;
+}
+
+std::size_t LineBuffer::tile_rows_total(std::size_t height) const {
+  const std::size_t out_h = height + 2 * static_cast<std::size_t>(pad_) -
+                            (n_ - m_);  // H + 2p - r + 1 with n = m + r - 1
+  return (out_h + m_ - 1) / m_;
+}
+
+std::size_t LineBuffer::tiles_per_row() const {
+  const std::size_t out_w =
+      width_ + 2 * static_cast<std::size_t>(pad_) - (n_ - m_);
+  return (out_w + m_ - 1) / m_;
+}
+
+void LineBuffer::extract_tile(std::size_t tile_row, std::size_t tile_col,
+                              std::span<float> out) const {
+  if (out.size() != n_ * n_) {
+    throw std::invalid_argument("LineBuffer::extract_tile: bad out size");
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::ptrdiff_t y = static_cast<std::ptrdiff_t>(tile_row * m_) -
+                             pad_ + static_cast<std::ptrdiff_t>(i);
+    for (std::size_t j = 0; j < n_; ++j) {
+      const std::ptrdiff_t x = static_cast<std::ptrdiff_t>(tile_col * m_) -
+                               pad_ + static_cast<std::ptrdiff_t>(j);
+      float v = 0.0F;
+      if (y >= 0 && x >= 0 && static_cast<std::size_t>(x) < width_ &&
+          static_cast<std::size_t>(y) < rows_pushed_) {
+        const auto yu = static_cast<std::size_t>(y);
+        if (yu < window_start_) {
+          throw std::logic_error(
+              "LineBuffer::extract_tile: row evicted (non-sequential "
+              "access)");
+        }
+        v = window_[yu - window_start_][static_cast<std::size_t>(x)];
+      }
+      out[i * n_ + j] = v;
+    }
+  }
+}
+
+std::size_t LineBuffer::storage_elements() const { return n_ * width_; }
+
+DoubleBufferController::DoubleBufferController(std::uint64_t load_cycles,
+                                               std::uint64_t compute_cycles)
+    : load_cycles_(load_cycles), compute_cycles_(compute_cycles) {}
+
+std::uint64_t DoubleBufferController::run(std::size_t groups) const {
+  std::uint64_t compute_end = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    // The loader streams banks back to back; bank g is ready once g + 1
+    // loads have completed.
+    const std::uint64_t bank_ready =
+        (static_cast<std::uint64_t>(g) + 1) * load_cycles_;
+    const std::uint64_t start = std::max(compute_end, bank_ready);
+    compute_end = start + compute_cycles_;
+  }
+  return compute_end;
+}
+
+std::uint64_t DoubleBufferController::steady_stall() const {
+  return load_cycles_ > compute_cycles_ ? load_cycles_ - compute_cycles_
+                                        : 0;
+}
+
+}  // namespace wino::hw

@@ -1,0 +1,86 @@
+// Micro-architecture components of the engine front end (the paper's
+// Fig 7 "Image Buffer"): a line buffer that converts a row-streamed input
+// feature map into the overlapping (m+r-1)^2 tiles the data-transform
+// stage consumes, and the double-buffer controller that sequences
+// kernel-group refills.
+//
+// These model the blocks the analytic model (Eq 9) abstracts away. Tests
+// verify the line buffer emits exactly the tiles the layer convolution
+// gathers (padding included) and that the double buffer never exposes a
+// half-loaded bank.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wino::hw {
+
+/// Streaming line buffer. The host pushes one image row per call (width
+/// W, single channel); the buffer retains the last (m + r - 1) rows and
+/// can emit every horizontal tile whose bottom row has arrived. Vertical
+/// stride is m (adjacent output tiles overlap by r - 1 rows), matching
+/// the engine's tiling.
+class LineBuffer {
+ public:
+  /// `pad`: symmetric zero padding applied virtually on all sides.
+  LineBuffer(std::size_t width, int m, int r, int pad);
+
+  /// Push the next image row (y = 0, 1, ... in image coordinates).
+  /// row.size() must equal the configured width.
+  void push_row(std::span<const float> row);
+
+  /// Number of complete tile rows available so far.
+  [[nodiscard]] std::size_t tile_rows_ready() const;
+
+  /// Total tile rows for an image of `height` rows (after full streaming).
+  [[nodiscard]] std::size_t tile_rows_total(std::size_t height) const;
+
+  /// Tiles per tile row.
+  [[nodiscard]] std::size_t tiles_per_row() const;
+
+  /// Extract tile (tile_row, tile_col) into `out` (size n*n, row-major).
+  /// Only valid for tile_row < tile_rows_ready().
+  void extract_tile(std::size_t tile_row, std::size_t tile_col,
+                    std::span<float> out) const;
+
+  /// On-chip storage requirement in elements: n rows of padded width (the
+  /// BRAM the estimator charges for the image buffer).
+  [[nodiscard]] std::size_t storage_elements() const;
+
+ private:
+  std::size_t width_;
+  std::size_t n_;    ///< tile extent m + r - 1
+  std::size_t m_;
+  int pad_;
+  std::size_t rows_pushed_ = 0;
+  // Retained rows, oldest first; bounded to the window the tiles need.
+  std::vector<std::vector<float>> window_;
+  std::size_t window_start_ = 0;  ///< image row index of window_[0]
+};
+
+/// Double-buffer controller for the kernel (V) buffers: one bank serves
+/// the PE array while the other loads the next kernel group. Models the
+/// paper's Section V-B double-buffering assumption as an explicit state
+/// machine with cycle accounting.
+class DoubleBufferController {
+ public:
+  /// `load_cycles`: cycles to fill one bank; `compute_cycles`: cycles one
+  /// group occupies the PE array.
+  DoubleBufferController(std::uint64_t load_cycles,
+                         std::uint64_t compute_cycles);
+
+  /// Run `groups` kernel groups; returns total cycles including the
+  /// initial fill and any stalls where compute finished before the next
+  /// bank was ready.
+  [[nodiscard]] std::uint64_t run(std::size_t groups) const;
+
+  /// Stall cycles per steady-state group (0 when load <= compute).
+  [[nodiscard]] std::uint64_t steady_stall() const;
+
+ private:
+  std::uint64_t load_cycles_;
+  std::uint64_t compute_cycles_;
+};
+
+}  // namespace wino::hw

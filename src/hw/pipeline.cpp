@@ -1,0 +1,103 @@
+#include "hw/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wino::hw {
+
+StageSchedule asap_schedule(const winograd::LinearProgram& program) {
+  using winograd::OpKind;
+  const auto& ops = program.ops();
+
+  // Level of each value slot: inputs at level 0, each op one level after
+  // its latest operand.
+  std::vector<std::size_t> level(program.slot_count(), 0);
+  std::size_t depth = 0;
+  std::vector<std::size_t> op_level(ops.size(), 0);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const auto& op = ops[i];
+    std::size_t l = level[op.src_a];
+    if (op.kind == OpKind::kAdd || op.kind == OpKind::kSub) {
+      l = std::max(l, level[op.src_b]);
+    }
+    const std::size_t out_level =
+        op.kind == OpKind::kCopy ? l : l + 1;  // wiring costs no stage
+    level[op.dst] = out_level;
+    op_level[i] = out_level;
+    depth = std::max(depth, out_level);
+  }
+
+  StageSchedule s;
+  s.stages = depth;
+  s.ops_per_stage.assign(depth, 0);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind == OpKind::kCopy) continue;
+    if (op_level[i] >= 1) ++s.ops_per_stage[op_level[i] - 1];
+  }
+
+  // Live values crossing each stage boundary: a value produced at level p
+  // and last used at level q is registered at boundaries p..q-1. Outputs
+  // are live through the final boundary.
+  std::vector<std::size_t> last_use(program.slot_count(), 0);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const auto& op = ops[i];
+    last_use[op.src_a] = std::max(last_use[op.src_a], op_level[i]);
+    if (op.kind == OpKind::kAdd || op.kind == OpKind::kSub) {
+      last_use[op.src_b] = std::max(last_use[op.src_b], op_level[i]);
+    }
+  }
+  for (const std::size_t out : program.output_slots()) {
+    last_use[out] = std::max(last_use[out], depth);
+  }
+  s.regs_per_stage.assign(depth, 0);
+  for (std::size_t slot = 0; slot < program.slot_count(); ++slot) {
+    for (std::size_t b = level[slot]; b < last_use[slot] && b < depth; ++b) {
+      ++s.regs_per_stage[b];
+    }
+  }
+  return s;
+}
+
+SteppedPipeline::Result SteppedPipeline::run(const Config& c) {
+  if (c.fifo_depth < c.outputs_per_issue) {
+    throw std::invalid_argument(
+        "SteppedPipeline: FIFO smaller than one issue's outputs");
+  }
+  const std::size_t latency = c.dt_latency + c.pe_latency;
+  // Ring of arrivals: words landing in the FIFO `latency` cycles after
+  // their issue.
+  std::vector<std::size_t> arrivals(latency + 1, 0);
+
+  Result r;
+  std::uint64_t issued = 0;
+  std::size_t fifo = 0;
+  std::size_t pending = 0;  // words in flight (credit-reserved)
+  std::uint64_t cycle = 0;
+  while (issued < c.issue_count || fifo > 0 || pending > 0) {
+    const std::size_t slot = static_cast<std::size_t>(cycle % (latency + 1));
+    // 1. Arrivals scheduled for this cycle land in the FIFO.
+    fifo += arrivals[slot];
+    pending -= arrivals[slot];
+    arrivals[slot] = 0;
+    // 2. Writeback drains.
+    const std::size_t drained = std::min(fifo, c.writeback_width);
+    fifo -= drained;
+    // 3. Issue if work remains and credit is available.
+    if (issued < c.issue_count) {
+      if (fifo + pending + c.outputs_per_issue <= c.fifo_depth) {
+        arrivals[static_cast<std::size_t>((cycle + latency) % (latency + 1))] +=
+            c.outputs_per_issue;
+        pending += c.outputs_per_issue;
+        ++issued;
+      } else {
+        ++r.issue_stall_cycles;
+      }
+    }
+    r.fifo_peak = std::max<std::uint64_t>(r.fifo_peak, fifo);
+    ++cycle;
+  }
+  r.cycles = cycle;
+  return r;
+}
+
+}  // namespace wino::hw

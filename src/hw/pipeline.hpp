@@ -1,0 +1,63 @@
+// Pipeline scheduling and stepped (per-cycle) simulation.
+//
+// asap_schedule() bins a transform program's operations into ASAP levels —
+// the register stages a pipelined hardware mapping needs — giving the
+// per-stage register counts behind the FF estimates and the exact stage
+// count behind Dp in Eq 9.
+//
+// SteppedPipeline advances the engine's macro-pipeline one cycle at a
+// time with explicit occupancy and backpressure: issue -> data transform
+// (latency Ld) -> PE stage (latency Lp) -> bounded output FIFO ->
+// writeback port of limited width. The analytic simulator
+// (hw::WinogradEngine) fast-forwards assuming an uncontended writeback;
+// the stepped model verifies that assumption and quantifies the stall
+// when the port is narrower than the PE array's output rate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "winograd/program.hpp"
+
+namespace wino::hw {
+
+/// ASAP schedule of a straight-line program: operation levels and the
+/// values that must be registered at each stage boundary.
+struct StageSchedule {
+  std::size_t stages = 0;                  ///< pipeline depth in registers
+  std::vector<std::size_t> ops_per_stage;  ///< arithmetic ops per level
+  std::vector<std::size_t> regs_per_stage; ///< live values crossing each
+                                           ///< stage boundary
+
+  [[nodiscard]] std::size_t total_registers() const {
+    std::size_t total = 0;
+    for (const std::size_t r : regs_per_stage) total += r;
+    return total;
+  }
+};
+
+StageSchedule asap_schedule(const winograd::LinearProgram& program);
+
+/// Per-cycle engine pipeline with bounded buffering.
+class SteppedPipeline {
+ public:
+  struct Config {
+    std::uint64_t issue_count = 0;        ///< data-transform issues (tiles*C*groups)
+    std::size_t dt_latency = 4;           ///< data-transform stage cycles
+    std::size_t pe_latency = 8;           ///< EW-mult + inverse cycles
+    std::size_t outputs_per_issue = 4;    ///< m^2 * P words leaving per slot
+    std::size_t fifo_depth = 64;          ///< output FIFO capacity (words)
+    std::size_t writeback_width = 16;     ///< words the port drains per cycle
+  };
+
+  struct Result {
+    std::uint64_t cycles = 0;
+    std::uint64_t issue_stall_cycles = 0;  ///< issue blocked on FIFO space
+    std::uint64_t fifo_peak = 0;           ///< max FIFO occupancy observed
+  };
+
+  /// Run to completion (all issues drained through writeback).
+  static Result run(const Config& config);
+};
+
+}  // namespace wino::hw

@@ -1,0 +1,202 @@
+#include "nn/forward.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/random.hpp"
+#include "conv/fft.hpp"
+#include "conv/im2col.hpp"
+#include "conv/spatial.hpp"
+#include "winograd/kernels.hpp"
+
+namespace wino::nn {
+
+using tensor::Tensor4f;
+
+std::string to_string(ConvAlgo algo) {
+  switch (algo) {
+    case ConvAlgo::kSpatial:
+      return "spatial";
+    case ConvAlgo::kIm2col:
+      return "im2col";
+    case ConvAlgo::kFft:
+      return "fft";
+    case ConvAlgo::kWinograd2:
+      return "winograd-F(2x2,3x3)";
+    case ConvAlgo::kWinograd3:
+      return "winograd-F(3x3,3x3)";
+    case ConvAlgo::kWinograd4:
+      return "winograd-F(4x4,3x3)";
+  }
+  return "unknown";
+}
+
+Tensor4f run_conv(ConvAlgo algo, const Tensor4f& input,
+                  const Tensor4f& kernels, int pad) {
+  const conv::SpatialConvOptions sopt{.pad = pad, .stride = 1};
+  winograd::WinogradConvOptions wopt;
+  wopt.pad = pad;
+  switch (algo) {
+    case ConvAlgo::kSpatial:
+      return conv::conv2d_spatial(input, kernels, sopt);
+    case ConvAlgo::kIm2col:
+      return conv::conv2d_im2col(input, kernels, sopt);
+    case ConvAlgo::kFft:
+      return conv::conv2d_fft(input, kernels, sopt);
+    case ConvAlgo::kWinograd2:
+      return winograd::conv2d_winograd(input, kernels, 2, wopt);
+    case ConvAlgo::kWinograd3:
+      return winograd::conv2d_winograd(input, kernels, 3, wopt);
+    case ConvAlgo::kWinograd4:
+      return winograd::conv2d_winograd(input, kernels, 4, wopt);
+  }
+  throw std::invalid_argument("run_conv: unknown algorithm");
+}
+
+void relu_inplace(Tensor4f& t) {
+  for (float& v : t.flat()) v = v > 0.0F ? v : 0.0F;
+}
+
+Tensor4f maxpool2x2(const Tensor4f& input) {
+  const auto& s = input.shape();
+  if (s.h < 2 || s.w < 2) {
+    throw std::invalid_argument("maxpool2x2: input too small");
+  }
+  Tensor4f out(s.n, s.c, s.h / 2, s.w / 2);
+  for (std::size_t n = 0; n < s.n; ++n) {
+    for (std::size_t c = 0; c < s.c; ++c) {
+      for (std::size_t y = 0; y + 1 < s.h; y += 2) {
+        for (std::size_t x = 0; x + 1 < s.w; x += 2) {
+          const float m0 = std::max(input(n, c, y, x), input(n, c, y, x + 1));
+          const float m1 =
+              std::max(input(n, c, y + 1, x), input(n, c, y + 1, x + 1));
+          out(n, c, y / 2, x / 2) = std::max(m0, m1);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor4f fully_connected(const Tensor4f& input,
+                         const std::vector<float>& weights,
+                         const std::vector<float>& bias,
+                         std::size_t out_features) {
+  const auto& s = input.shape();
+  const std::size_t in_features = s.c * s.h * s.w;
+  if (weights.size() != in_features * out_features ||
+      bias.size() != out_features) {
+    throw std::invalid_argument("fully_connected: weight size mismatch");
+  }
+  Tensor4f out(s.n, out_features, 1, 1);
+  for (std::size_t n = 0; n < s.n; ++n) {
+    const std::span<const float> x =
+        input.flat().subspan(n * in_features, in_features);
+    for (std::size_t o = 0; o < out_features; ++o) {
+      float acc = bias[o];
+      const float* wrow = &weights[o * in_features];
+      for (std::size_t i = 0; i < in_features; ++i) acc += wrow[i] * x[i];
+      out(n, o, 0, 0) = acc;
+    }
+  }
+  return out;
+}
+
+WeightBank random_weights(const std::vector<LayerSpec>& layers,
+                          std::uint64_t seed) {
+  common::Rng rng(seed);
+  WeightBank bank;
+  for (const auto& l : layers) {
+    if (l.kind == LayerKind::kConv) {
+      const auto& c = l.conv;
+      Tensor4f k(c.k, c.c, c.r, c.r);
+      const float stddev =
+          std::sqrt(2.0F / static_cast<float>(c.c * c.r * c.r));
+      rng.fill_normal(k.flat(), 0.0F, stddev);
+      bank.conv_kernels.push_back(std::move(k));
+    } else if (l.kind == LayerKind::kFullyConnected) {
+      std::vector<float> w(l.fc_in * l.fc_out);
+      std::vector<float> b(l.fc_out);
+      const float stddev = std::sqrt(2.0F / static_cast<float>(l.fc_in));
+      rng.fill_normal(w, 0.0F, stddev);
+      rng.fill_uniform(b, -0.1F, 0.1F);
+      bank.fc_weights.push_back(std::move(w));
+      bank.fc_bias.push_back(std::move(b));
+    }
+  }
+  return bank;
+}
+
+Tensor4f forward(const std::vector<LayerSpec>& layers,
+                 const WeightBank& weights, const Tensor4f& input,
+                 ConvAlgo algo) {
+  Tensor4f act = input;
+  std::size_t conv_idx = 0;
+  std::size_t fc_idx = 0;
+  for (const auto& l : layers) {
+    switch (l.kind) {
+      case LayerKind::kConv: {
+        if (conv_idx >= weights.conv_kernels.size()) {
+          throw std::invalid_argument("forward: missing conv weights");
+        }
+        act = run_conv(algo, act, weights.conv_kernels[conv_idx++], l.conv.pad);
+        relu_inplace(act);
+        break;
+      }
+      case LayerKind::kMaxPool:
+        act = maxpool2x2(act);
+        break;
+      case LayerKind::kFullyConnected: {
+        if (fc_idx >= weights.fc_weights.size()) {
+          throw std::invalid_argument("forward: missing fc weights");
+        }
+        act = fully_connected(act, weights.fc_weights[fc_idx],
+                              weights.fc_bias[fc_idx], l.fc_out);
+        ++fc_idx;
+        if (fc_idx < weights.fc_weights.size()) relu_inplace(act);
+        break;
+      }
+    }
+  }
+  return act;
+}
+
+std::vector<LayerSpec> vgg16_d_scaled(std::size_t scale,
+                                      std::size_t channel_div) {
+  if (scale == 0 || 224 % scale != 0) {
+    throw std::invalid_argument("vgg16_d_scaled: scale must divide 224");
+  }
+  if (channel_div == 0) {
+    throw std::invalid_argument("vgg16_d_scaled: channel_div must be > 0");
+  }
+  std::vector<LayerSpec> layers;
+  std::size_t hw = 224 / scale;
+  std::size_t prev_c = 3;
+  for (const auto& group : vgg16_d().groups) {
+    for (const auto& c : group.layers) {
+      LayerSpec l;
+      l.kind = LayerKind::kConv;
+      l.conv = c;
+      l.conv.h = hw;
+      l.conv.w = hw;
+      l.conv.c = prev_c;
+      l.conv.k = std::max<std::size_t>(1, c.k / channel_div);
+      prev_c = l.conv.k;
+      layers.push_back(l);
+    }
+    if (hw >= 2) {
+      LayerSpec pool;
+      pool.kind = LayerKind::kMaxPool;
+      layers.push_back(pool);
+      hw /= 2;
+    }
+  }
+  LayerSpec fc;
+  fc.kind = LayerKind::kFullyConnected;
+  fc.fc_in = prev_c * hw * hw;
+  fc.fc_out = 10;
+  layers.push_back(fc);
+  return layers;
+}
+
+}  // namespace wino::nn

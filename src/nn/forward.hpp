@@ -1,0 +1,71 @@
+// Numerical forward pass with a pluggable convolution algorithm.
+//
+// Lets the examples and tests run (scaled) CNN inference where every conv
+// layer is computed by spatial / im2col / FFT / Winograd-F(m) and the
+// results are cross-checked — the software analogue of swapping the
+// paper's convolution engine in and out of the datapath.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "tensor/tensor.hpp"
+
+namespace wino::nn {
+
+/// Which algorithm computes each convolution.
+enum class ConvAlgo {
+  kSpatial,
+  kIm2col,
+  kFft,
+  kWinograd2,  ///< F(2x2, 3x3)
+  kWinograd3,  ///< F(3x3, 3x3)
+  kWinograd4,  ///< F(4x4, 3x3)
+};
+
+[[nodiscard]] std::string to_string(ConvAlgo algo);
+
+/// Dispatch one convolution (stride 1) with the chosen algorithm.
+tensor::Tensor4f run_conv(ConvAlgo algo, const tensor::Tensor4f& input,
+                          const tensor::Tensor4f& kernels, int pad);
+
+/// Elementwise max(x, 0).
+void relu_inplace(tensor::Tensor4f& t);
+
+/// 2x2 max pooling with stride 2 (VGG's pooling).
+tensor::Tensor4f maxpool2x2(const tensor::Tensor4f& input);
+
+/// y = W x + b per image; x is the flattened CHW volume.
+tensor::Tensor4f fully_connected(const tensor::Tensor4f& input,
+                                 const std::vector<float>& weights,
+                                 const std::vector<float>& bias,
+                                 std::size_t out_features);
+
+/// Weight bank for a network: one KCrr tensor per conv layer plus FC
+/// weight/bias arrays, initialised from a deterministic seed.
+struct WeightBank {
+  std::vector<tensor::Tensor4f> conv_kernels;
+  std::vector<std::vector<float>> fc_weights;
+  std::vector<std::vector<float>> fc_bias;
+};
+
+/// Allocate random weights for `layers` (He-style scaled normal).
+WeightBank random_weights(const std::vector<LayerSpec>& layers,
+                          std::uint64_t seed = 1);
+
+/// Run the layer stack; conv layers use `algo`. Input must match the first
+/// layer's (c, h, w). Returns the final activation tensor.
+tensor::Tensor4f forward(const std::vector<LayerSpec>& layers,
+                         const WeightBank& weights,
+                         const tensor::Tensor4f& input, ConvAlgo algo);
+
+/// A spatially scaled-down VGG16-D-like stack (same channel progression,
+/// reduced resolution) so end-to-end inference is test-sized. `scale`
+/// divides the 224 x 224 input (must divide 224 and keep >= 32 px... the
+/// standard choice is scale = 7 -> 32 x 32 input).
+std::vector<LayerSpec> vgg16_d_scaled(std::size_t scale,
+                                      std::size_t channel_div = 8);
+
+}  // namespace wino::nn

@@ -1,0 +1,153 @@
+#include "nn/network.hpp"
+
+namespace wino::nn {
+
+std::size_t ConvLayerSpec::spatial_mults(std::size_t n) const {
+  return n * out_h() * out_w() * c * k * r * r;
+}
+
+std::size_t ConvLayerSpec::spatial_ops(std::size_t n) const {
+  return 2 * spatial_mults(n);
+}
+
+std::size_t ConvGroup::spatial_mults(std::size_t n) const {
+  std::size_t total = 0;
+  for (const auto& l : layers) total += l.spatial_mults(n);
+  return total;
+}
+
+std::size_t ConvGroup::spatial_ops(std::size_t n) const {
+  std::size_t total = 0;
+  for (const auto& l : layers) total += l.spatial_ops(n);
+  return total;
+}
+
+std::vector<ConvLayerSpec> ConvWorkload::all_layers() const {
+  std::vector<ConvLayerSpec> out;
+  for (const auto& g : groups) {
+    out.insert(out.end(), g.layers.begin(), g.layers.end());
+  }
+  return out;
+}
+
+std::size_t ConvWorkload::spatial_mults(std::size_t n) const {
+  std::size_t total = 0;
+  for (const auto& g : groups) total += g.spatial_mults(n);
+  return total;
+}
+
+std::size_t ConvWorkload::spatial_ops(std::size_t n) const {
+  std::size_t total = 0;
+  for (const auto& g : groups) total += g.spatial_ops(n);
+  return total;
+}
+
+namespace {
+
+ConvLayerSpec conv(std::string name, std::size_t hw, std::size_t c,
+                   std::size_t k) {
+  ConvLayerSpec l;
+  l.name = std::move(name);
+  l.h = hw;
+  l.w = hw;
+  l.c = c;
+  l.k = k;
+  l.r = 3;
+  l.pad = 1;
+  return l;
+}
+
+ConvWorkload make_vgg16_d() {
+  ConvWorkload w;
+  w.name = "VGG16-D";
+  w.groups = {
+      {"Conv1", {conv("conv1_1", 224, 3, 64), conv("conv1_2", 224, 64, 64)}},
+      {"Conv2",
+       {conv("conv2_1", 112, 64, 128), conv("conv2_2", 112, 128, 128)}},
+      {"Conv3",
+       {conv("conv3_1", 56, 128, 256), conv("conv3_2", 56, 256, 256),
+        conv("conv3_3", 56, 256, 256)}},
+      {"Conv4",
+       {conv("conv4_1", 28, 256, 512), conv("conv4_2", 28, 512, 512),
+        conv("conv4_3", 28, 512, 512)}},
+      {"Conv5",
+       {conv("conv5_1", 14, 512, 512), conv("conv5_2", 14, 512, 512),
+        conv("conv5_3", 14, 512, 512)}},
+  };
+  return w;
+}
+
+}  // namespace
+
+const ConvWorkload& vgg16_d() {
+  static const ConvWorkload w = make_vgg16_d();
+  return w;
+}
+
+namespace {
+
+ConvLayerSpec conv_full(std::string name, std::size_t hw, std::size_t c,
+                        std::size_t k, std::size_t r, int pad, int stride) {
+  ConvLayerSpec l;
+  l.name = std::move(name);
+  l.h = hw;
+  l.w = hw;
+  l.c = c;
+  l.k = k;
+  l.r = r;
+  l.pad = pad;
+  l.stride = stride;
+  return l;
+}
+
+ConvWorkload make_alexnet() {
+  ConvWorkload w;
+  w.name = "AlexNet";
+  w.groups = {
+      {"Conv1", {conv_full("conv1", 227, 3, 96, 11, 0, 4)}},
+      {"Conv2", {conv_full("conv2", 27, 96, 256, 5, 2, 1)}},
+      {"Conv3", {conv_full("conv3", 13, 256, 384, 3, 1, 1)}},
+      {"Conv4", {conv_full("conv4", 13, 384, 384, 3, 1, 1)}},
+      {"Conv5", {conv_full("conv5", 13, 384, 256, 3, 1, 1)}},
+  };
+  return w;
+}
+
+}  // namespace
+
+const ConvWorkload& alexnet() {
+  static const ConvWorkload w = make_alexnet();
+  return w;
+}
+
+std::vector<LayerSpec> vgg16_d_full() {
+  std::vector<LayerSpec> layers;
+  const auto pool = [] {
+    LayerSpec l;
+    l.kind = LayerKind::kMaxPool;
+    l.pool_size = 2;
+    return l;
+  };
+  for (const auto& group : vgg16_d().groups) {
+    for (const auto& c : group.layers) {
+      LayerSpec l;
+      l.kind = LayerKind::kConv;
+      l.conv = c;
+      layers.push_back(l);
+    }
+    layers.push_back(pool());
+  }
+  const auto fc = [](std::size_t in, std::size_t out) {
+    LayerSpec l;
+    l.kind = LayerKind::kFullyConnected;
+    l.fc_in = in;
+    l.fc_out = out;
+    return l;
+  };
+  layers.push_back(fc(512 * 7 * 7, 4096));
+  layers.push_back(fc(4096, 4096));
+  layers.push_back(fc(4096, 1000));
+  return layers;
+}
+
+}  // namespace wino::nn

@@ -1,0 +1,95 @@
+// CNN workload description: layer specs, shape inference, and the VGG16-D
+// model the paper uses for all of its design space exploration.
+//
+// The DSE models (src/dse) consume only the static layer geometry; the
+// forward-pass engine (src/nn/forward.hpp) additionally executes layers
+// numerically with a pluggable convolution algorithm.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wino::nn {
+
+/// A convolutional layer: C input channels, K kernels of r x r, unit
+/// stride, symmetric padding (VGG uses pad 1 so H, W are preserved).
+struct ConvLayerSpec {
+  std::string name;
+  std::size_t h = 0;  ///< input feature map height
+  std::size_t w = 0;  ///< input feature map width
+  std::size_t c = 0;  ///< input channels
+  std::size_t k = 0;  ///< output channels (number of kernels)
+  std::size_t r = 3;  ///< kernel size
+  int pad = 1;
+  int stride = 1;     ///< spatial stride (Winograd paths require 1)
+
+  /// Multiplications of spatial convolution for batch n (Eq 4 with m = 1):
+  /// N*H*W*C*K*r^2, using the output extent for H*W (pad 1, stride 1 keeps
+  /// them equal for VGG).
+  [[nodiscard]] std::size_t spatial_mults(std::size_t n = 1) const;
+
+  /// Total arithmetic ops of spatial convolution (multiply + accumulate
+  /// counted separately), the paper's throughput numerator O_S (Eq 10).
+  [[nodiscard]] std::size_t spatial_ops(std::size_t n = 1) const;
+
+  [[nodiscard]] std::size_t out_h() const {
+    return (h + 2 * static_cast<std::size_t>(pad) - r) /
+               static_cast<std::size_t>(stride) +
+           1;
+  }
+  [[nodiscard]] std::size_t out_w() const {
+    return (w + 2 * static_cast<std::size_t>(pad) - r) /
+               static_cast<std::size_t>(stride) +
+           1;
+  }
+};
+
+/// Pooling/FC layers are carried for completeness of the model definition
+/// (examples run them); the paper's evaluation concerns conv layers only.
+enum class LayerKind { kConv, kMaxPool, kFullyConnected };
+
+struct LayerSpec {
+  LayerKind kind = LayerKind::kConv;
+  ConvLayerSpec conv;           ///< valid when kind == kConv
+  std::size_t pool_size = 2;    ///< kMaxPool
+  std::size_t fc_in = 0;        ///< kFullyConnected
+  std::size_t fc_out = 0;
+};
+
+/// A named group of consecutive conv layers sharing spatial extent
+/// (VGG16-D's Conv1..Conv5 as reported in the paper's Fig 1 / Table II).
+struct ConvGroup {
+  std::string name;
+  std::vector<ConvLayerSpec> layers;
+
+  [[nodiscard]] std::size_t spatial_mults(std::size_t n = 1) const;
+  [[nodiscard]] std::size_t spatial_ops(std::size_t n = 1) const;
+};
+
+/// Static model of a CNN's convolutional workload.
+struct ConvWorkload {
+  std::string name;
+  std::vector<ConvGroup> groups;
+
+  [[nodiscard]] std::vector<ConvLayerSpec> all_layers() const;
+  [[nodiscard]] std::size_t spatial_mults(std::size_t n = 1) const;
+  [[nodiscard]] std::size_t spatial_ops(std::size_t n = 1) const;
+};
+
+/// VGG16 configuration D (Simonyan & Zisserman), 13 conv layers in 5
+/// groups, all 3x3 kernels with pad 1 — the paper's CNN of choice.
+const ConvWorkload& vgg16_d();
+
+/// AlexNet's convolutional stack (Krizhevsky et al., the paper's [2]) —
+/// mixed kernel sizes (11, 5, 3), used by the kernel-size study that
+/// substantiates the paper's Section II-C argument that Winograd suits
+/// small kernels where FFT does not pay off. Stride-4 conv1 is recorded
+/// with its output extent so complexity counts stay exact.
+const ConvWorkload& alexnet();
+
+/// Full VGG16-D layer list including pools and the 3 FC layers, for the
+/// end-to-end inference example.
+std::vector<LayerSpec> vgg16_d_full();
+
+}  // namespace wino::nn

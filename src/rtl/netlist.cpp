@@ -1,0 +1,243 @@
+#include "rtl/netlist.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wino::rtl {
+
+namespace {
+
+/// Sign-extending wrap to `width` bits — the behaviour of a signed wire.
+std::int64_t wrap(std::int64_t v, int width) {
+  const std::uint64_t mask = width >= 64
+                                 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << width) - 1;
+  std::uint64_t u = static_cast<std::uint64_t>(v) & mask;
+  const std::uint64_t sign = std::uint64_t{1} << (width - 1);
+  if (width < 64 && (u & sign)) u |= ~mask;
+  return static_cast<std::int64_t>(u);
+}
+
+/// Is |r| an exact power of two (2^k, k may be negative)? Returns k.
+bool pow2_exponent(const common::Rational& r, int& k) {
+  const common::Rational a = r.abs();
+  if (!a.is_pow2_scaled() || a.is_zero()) return false;
+  int e = 0;
+  for (std::int64_t n = a.num(); n > 1; n >>= 1) ++e;
+  for (std::int64_t d = a.den(); d > 1; d >>= 1) --e;
+  k = e;
+  return true;
+}
+
+}  // namespace
+
+Netlist Netlist::from_program(const winograd::LinearProgram& program,
+                              const FixedFormat& format) {
+  if (format.width < 2 || format.width > 48 || format.frac_bits < 0 ||
+      format.constant_frac_bits < 1 || format.constant_frac_bits > 30) {
+    throw std::invalid_argument("Netlist: bad fixed format");
+  }
+  Netlist nl;
+  nl.format_ = format;
+
+  // slot -> node index; ~0 marks "never written" (reads as the zero node).
+  constexpr auto kUnset = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> slot_node(program.slot_count(), kUnset);
+
+  for (std::size_t i = 0; i < program.inputs(); ++i) {
+    Node n;
+    n.op = NodeOp::kInput;
+    n.name = "x";
+    n.name += std::to_string(i);
+    nl.inputs_.push_back(nl.nodes_.size());
+    slot_node[i] = nl.nodes_.size();
+    nl.nodes_.push_back(std::move(n));
+  }
+
+  // Constant-zero wire for structurally zero rows.
+  const std::size_t zero_node = nl.nodes_.size();
+  {
+    Node n;
+    n.op = NodeOp::kMulConst;  // 0 * x0, folded by the evaluator/emitter
+    n.name = "zero";
+    n.a = nl.inputs_.empty() ? 0 : nl.inputs_[0];
+    n.constant = 0;
+    n.constant_real = 0.0;
+    nl.nodes_.push_back(std::move(n));
+  }
+
+  const auto resolve = [&](std::size_t slot) -> std::size_t {
+    const std::size_t n = slot_node[slot];
+    return n == kUnset ? zero_node : n;
+  };
+
+  std::size_t tmp = 0;
+  const auto fresh = [&tmp] {
+    std::string name = "t";
+    name += std::to_string(tmp++);
+    return name;
+  };
+
+  for (const auto& op : program.ops()) {
+    using winograd::OpKind;
+    switch (op.kind) {
+      case OpKind::kAdd:
+      case OpKind::kSub: {
+        Node n;
+        n.op = op.kind == OpKind::kAdd ? NodeOp::kAdd : NodeOp::kSub;
+        n.name = fresh();
+        n.a = resolve(op.src_a);
+        n.b = resolve(op.src_b);
+        slot_node[op.dst] = nl.nodes_.size();
+        nl.nodes_.push_back(std::move(n));
+        break;
+      }
+      case OpKind::kNeg: {
+        Node n;
+        n.op = NodeOp::kNeg;
+        n.name = fresh();
+        n.a = resolve(op.src_a);
+        slot_node[op.dst] = nl.nodes_.size();
+        nl.nodes_.push_back(std::move(n));
+        break;
+      }
+      case OpKind::kCopy: {
+        slot_node[op.dst] = resolve(op.src_a);
+        break;
+      }
+      case OpKind::kShiftMul:
+      case OpKind::kConstMul: {
+        const common::Rational c = op.constant;
+        std::size_t value;
+        int k = 0;
+        if (pow2_exponent(c, k)) {
+          if (k == 0) {
+            value = resolve(op.src_a);  // *1: pure wire
+          } else {
+            Node n;
+            n.op = k > 0 ? NodeOp::kShl : NodeOp::kAshr;
+            n.name = fresh();
+            n.a = resolve(op.src_a);
+            n.amount = k > 0 ? k : -k;
+            value = nl.nodes_.size();
+            nl.nodes_.push_back(std::move(n));
+          }
+        } else {
+          Node n;
+          n.op = NodeOp::kMulConst;
+          n.name = fresh();
+          n.a = resolve(op.src_a);
+          n.constant_real = c.abs().to_double();
+          n.constant = std::llround(
+              n.constant_real *
+              std::pow(2.0, format.constant_frac_bits));
+          value = nl.nodes_.size();
+          nl.nodes_.push_back(std::move(n));
+        }
+        if (c < common::Rational(0)) {
+          Node n;
+          n.op = NodeOp::kNeg;
+          n.name = fresh();
+          n.a = value;
+          value = nl.nodes_.size();
+          nl.nodes_.push_back(std::move(n));
+        }
+        slot_node[op.dst] = value;
+        break;
+      }
+    }
+  }
+
+  for (std::size_t r = 0; r < program.outputs(); ++r) {
+    Node n;
+    n.op = NodeOp::kAlias;
+    n.name = "y";
+    n.name += std::to_string(r);
+    n.a = resolve(program.output_slots()[r]);
+    nl.outputs_.push_back(nl.nodes_.size());
+    nl.nodes_.push_back(std::move(n));
+  }
+  return nl;
+}
+
+void Netlist::evaluate(std::span<const std::int64_t> in,
+                       std::span<std::int64_t> out) const {
+  if (in.size() != inputs_.size() || out.size() != outputs_.size()) {
+    throw std::invalid_argument("Netlist::evaluate size mismatch");
+  }
+  std::vector<std::int64_t> value(nodes_.size(), 0);
+  std::size_t next_input = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    switch (n.op) {
+      case NodeOp::kInput:
+        value[i] = wrap(in[next_input++], format_.width);
+        break;
+      case NodeOp::kAdd:
+        value[i] = wrap(value[n.a] + value[n.b], format_.width);
+        break;
+      case NodeOp::kSub:
+        value[i] = wrap(value[n.a] - value[n.b], format_.width);
+        break;
+      case NodeOp::kNeg:
+        value[i] = wrap(-value[n.a], format_.width);
+        break;
+      case NodeOp::kShl:
+        value[i] = wrap(value[n.a] << n.amount, format_.width);
+        break;
+      case NodeOp::kAshr:
+        value[i] = wrap(value[n.a] >> n.amount, format_.width);
+        break;
+      case NodeOp::kMulConst:
+        value[i] = wrap((value[n.a] * n.constant) >>
+                            format_.constant_frac_bits,
+                        format_.width);
+        break;
+      case NodeOp::kAlias:
+        value[i] = value[n.a];
+        break;
+    }
+  }
+  for (std::size_t r = 0; r < outputs_.size(); ++r) {
+    out[r] = value[outputs_[r]];
+  }
+}
+
+void Netlist::evaluate_real(std::span<const double> in,
+                            std::span<double> out) const {
+  std::vector<std::int64_t> fi(in.size());
+  std::vector<std::int64_t> fo(out.size());
+  const double scale = std::pow(2.0, format_.frac_bits);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    fi[i] = std::llround(in[i] * scale);
+  }
+  evaluate(fi, fo);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<double>(fo[i]) / scale;
+  }
+}
+
+Netlist::Summary Netlist::summary() const {
+  Summary s;
+  for (const Node& n : nodes_) {
+    switch (n.op) {
+      case NodeOp::kAdd:
+      case NodeOp::kSub:
+      case NodeOp::kNeg:
+        ++s.adders;
+        break;
+      case NodeOp::kShl:
+      case NodeOp::kAshr:
+        ++s.shifters;
+        break;
+      case NodeOp::kMulConst:
+        if (n.constant != 0) ++s.multipliers;  // fold the zero wire
+        break;
+      default:
+        break;
+    }
+  }
+  return s;
+}
+
+}  // namespace wino::rtl

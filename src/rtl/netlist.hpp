@@ -1,0 +1,95 @@
+// Structural RTL netlist for the transform datapaths.
+//
+// A LinearProgram (src/winograd/program.hpp) is lowered to a fixed-point
+// netlist: every program op becomes a signed add/sub/negate, an arithmetic
+// shift (power-of-two scaling), or a constant multiply-and-shift (generic
+// rational constant rounded to `constant_frac_bits`). The netlist can be
+//   * evaluated bit-exactly in C++ (the verification path: tests compare
+//     it against the double-precision program within the quantisation
+//     error bound), and
+//   * emitted as synthesisable Verilog (src/rtl/verilog.hpp).
+// This is the path from the paper's Fig 4 schematic to actual RTL.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "winograd/program.hpp"
+
+namespace wino::rtl {
+
+/// Fixed-point geometry of the datapath. Values are signed two's
+/// complement, `width` bits, with `frac_bits` fractional bits. Constants
+/// are quantised to `constant_frac_bits`.
+struct FixedFormat {
+  int width = 24;
+  int frac_bits = 10;
+  int constant_frac_bits = 12;
+};
+
+enum class NodeOp {
+  kInput,     ///< external port
+  kAdd,       ///< a + b
+  kSub,       ///< a - b
+  kNeg,       ///< -a
+  kShl,       ///< a << amount          (multiply by 2^amount)
+  kAshr,      ///< a >>> amount          (multiply by 2^-amount, rounding off)
+  kMulConst,  ///< (a * constant) >>> constant_frac_bits
+  kAlias      ///< wire rename (program copies / output hookup)
+};
+
+struct Node {
+  NodeOp op = NodeOp::kInput;
+  std::string name;          ///< wire name in the emitted Verilog
+  std::size_t a = 0;         ///< operand node index
+  std::size_t b = 0;         ///< second operand (kAdd / kSub)
+  int amount = 0;            ///< shift amount
+  std::int64_t constant = 0; ///< quantised constant (kMulConst)
+  double constant_real = 0;  ///< the exact constant, for comments
+};
+
+/// A lowered datapath: nodes in topological order, with designated input
+/// and output nodes.
+class Netlist {
+ public:
+  /// Lower a linear transform program into a fixed-point netlist.
+  /// `name_prefix` seeds wire names (x0.., t0.., y0..).
+  static Netlist from_program(const winograd::LinearProgram& program,
+                              const FixedFormat& format);
+
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<std::size_t>& inputs() const {
+    return inputs_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& outputs() const {
+    return outputs_;
+  }
+  [[nodiscard]] const FixedFormat& format() const { return format_; }
+
+  /// Bit-exact evaluation with wrap-around at `width` bits (as the
+  /// hardware would). Inputs/outputs are raw fixed-point integers.
+  void evaluate(std::span<const std::int64_t> in,
+                std::span<std::int64_t> out) const;
+
+  /// Convenience: evaluate on real values (quantise in, dequantise out).
+  void evaluate_real(std::span<const double> in,
+                     std::span<double> out) const;
+
+  /// Resource summary for cross-checking against the fpga estimator.
+  struct Summary {
+    std::size_t adders = 0;      ///< kAdd + kSub + kNeg
+    std::size_t shifters = 0;    ///< kShl + kAshr
+    std::size_t multipliers = 0; ///< kMulConst
+  };
+  [[nodiscard]] Summary summary() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::size_t> inputs_;
+  std::vector<std::size_t> outputs_;
+  FixedFormat format_;
+};
+
+}  // namespace wino::rtl

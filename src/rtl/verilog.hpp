@@ -1,0 +1,51 @@
+// Verilog emission for the transform datapaths and the PE structure —
+// turning the paper's Fig 4/5 schematics into synthesisable RTL.
+//
+// Emitted modules:
+//  * transform module: combinational signed fixed-point datapath for one
+//    1-D transform program (B^T, G or A^T), one assign per netlist node;
+//  * PE module: element-wise multiplier array + two chained inverse
+//    transform passes (the 2-D nesting of Fig 5), with a validity
+//    pipeline matching the configured stage latencies;
+//  * engine top: shared data-transform instance feeding P PE instances
+//    via a generate loop (Fig 7).
+//
+// The text targets Verilog-2001 and is deliberately simple: one wire per
+// node, no inferred state except the explicit pipeline registers.
+#pragma once
+
+#include <string>
+
+#include "hw/engine_config.hpp"
+#include "rtl/netlist.hpp"
+
+namespace wino::rtl {
+
+/// Emit one combinational transform module from a lowered netlist.
+/// Ports: in_0..in_{n-1}, out_0..out_{m-1}, all signed [width-1:0].
+std::string emit_transform_module(const std::string& module_name,
+                                  const Netlist& netlist);
+
+/// Emit the PE for F(m x m, r x r): n*n multiplier array followed by the
+/// row/column inverse-transform instances; includes the required
+/// `emit_transform_module` for A^T. Fixed-point per `format`.
+std::string emit_pe_module(const std::string& module_name, int m, int r,
+                           const FixedFormat& format);
+
+/// Emit the engine top: data transform (row/column B^T instances) shared
+/// across a generate loop of P PEs. Includes all submodules; the returned
+/// string is a self-contained .v file.
+std::string emit_engine(const hw::EngineConfig& config,
+                        const FixedFormat& format);
+
+/// Emit a self-checking testbench for a transform module: drives
+/// `vector_count` deterministic fixed-point stimuli, compares each output
+/// against the expectation computed by the bit-exact netlist evaluator,
+/// and finishes with "TB PASS" (or $fatal on mismatch). Appendable to the
+/// emit_transform_module output to form a simulable file.
+std::string emit_transform_testbench(const std::string& module_name,
+                                     const Netlist& netlist,
+                                     std::size_t vector_count = 16,
+                                     std::uint64_t seed = 1);
+
+}  // namespace wino::rtl

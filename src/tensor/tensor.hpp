@@ -1,0 +1,125 @@
+// NCHW 4-D tensor substrate for feature maps and kernel banks.
+//
+// Every convolution path in the library (spatial, im2col, FFT, Winograd,
+// cycle-level hardware simulation) operates on Tensor4<float>, so numerical
+// cross-checks between algorithms are direct element comparisons.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace wino::tensor {
+
+/// Shape of an NCHW tensor. For kernel banks the mapping is
+/// (n, c, h, w) == (output channels K, input channels C, r, r).
+struct Shape4 {
+  std::size_t n = 0;
+  std::size_t c = 0;
+  std::size_t h = 0;
+  std::size_t w = 0;
+
+  [[nodiscard]] std::size_t volume() const { return n * c * h * w; }
+  friend bool operator==(const Shape4&, const Shape4&) = default;
+};
+
+/// Dense NCHW tensor with contiguous row-major storage (w fastest).
+template <typename T>
+class Tensor4 {
+ public:
+  Tensor4() = default;
+  explicit Tensor4(Shape4 shape, T init = T{})
+      : shape_(shape), data_(shape.volume(), init) {}
+  Tensor4(std::size_t n, std::size_t c, std::size_t h, std::size_t w,
+          T init = T{})
+      : Tensor4(Shape4{n, c, h, w}, init) {}
+
+  [[nodiscard]] const Shape4& shape() const { return shape_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+    return data_[index(n, c, h, w)];
+  }
+  const T& operator()(std::size_t n, std::size_t c, std::size_t h,
+                      std::size_t w) const {
+    return data_[index(n, c, h, w)];
+  }
+
+  T& at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+    check(n, c, h, w);
+    return data_[index(n, c, h, w)];
+  }
+  const T& at(std::size_t n, std::size_t c, std::size_t h,
+              std::size_t w) const {
+    check(n, c, h, w);
+    return data_[index(n, c, h, w)];
+  }
+
+  /// Value at (n, c, h, w) treating coordinates outside the spatial extent
+  /// as zero padding. h and w are signed to allow negative halo reads.
+  [[nodiscard]] T padded(std::size_t n, std::size_t c, std::ptrdiff_t h,
+                         std::ptrdiff_t w) const {
+    if (h < 0 || w < 0 || static_cast<std::size_t>(h) >= shape_.h ||
+        static_cast<std::size_t>(w) >= shape_.w) {
+      return T{};
+    }
+    return (*this)(n, c, static_cast<std::size_t>(h),
+                   static_cast<std::size_t>(w));
+  }
+
+  [[nodiscard]] std::span<T> flat() { return data_; }
+  [[nodiscard]] std::span<const T> flat() const { return data_; }
+
+  friend bool operator==(const Tensor4& a, const Tensor4& b) {
+    return a.shape_ == b.shape_ && a.data_ == b.data_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(std::size_t n, std::size_t c, std::size_t h,
+                                  std::size_t w) const {
+    return ((n * shape_.c + c) * shape_.h + h) * shape_.w + w;
+  }
+  void check(std::size_t n, std::size_t c, std::size_t h,
+             std::size_t w) const {
+    if (n >= shape_.n || c >= shape_.c || h >= shape_.h || w >= shape_.w) {
+      throw std::out_of_range("Tensor4 index out of range");
+    }
+  }
+
+  Shape4 shape_{};
+  std::vector<T> data_;
+};
+
+using Tensor4f = Tensor4<float>;
+using Tensor4d = Tensor4<double>;
+
+/// Maximum absolute elementwise difference; throws if shapes differ.
+template <typename T>
+T max_abs_diff(const Tensor4<T>& a, const Tensor4<T>& b) {
+  if (!(a.shape() == b.shape())) {
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  }
+  T worst{};
+  auto fa = a.flat();
+  auto fb = b.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    const T d = fa[i] > fb[i] ? fa[i] - fb[i] : fb[i] - fa[i];
+    if (d > worst) worst = d;
+  }
+  return worst;
+}
+
+/// Largest absolute element; used to express errors relative to data range.
+template <typename T>
+T max_abs(const Tensor4<T>& a) {
+  T worst{};
+  for (const T& v : a.flat()) {
+    const T m = v < T{} ? -v : v;
+    if (m > worst) worst = m;
+  }
+  return worst;
+}
+
+}  // namespace wino::tensor

@@ -1,0 +1,41 @@
+#include "winograd/error_model.hpp"
+
+#include <cmath>
+
+namespace wino::winograd {
+
+common::Rational inf_norm(const RMatrix& m) {
+  common::Rational worst(0);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    common::Rational row(0);
+    for (std::size_t j = 0; j < m.cols(); ++j) row += m(i, j).abs();
+    if (row > worst) worst = row;
+  }
+  return worst;
+}
+
+double ErrorModel::fp32_error_estimate(double magnitude) const {
+  return kappa_2d * magnitude * std::pow(2.0, -24);
+}
+
+int ErrorModel::required_guard_bits() const {
+  // The largest intermediate for unit inputs appears after the 2-D data
+  // transform (gain ||B^T||_inf^2) or after the elementwise product with
+  // the transformed filter (additional ||G||_inf^2).
+  const double gain = bt_norm * bt_norm * g_norm * g_norm;
+  return static_cast<int>(std::ceil(std::log2(std::max(1.0, gain))));
+}
+
+ErrorModel error_model(const TransformSet& t) {
+  ErrorModel e;
+  e.bt_norm = inf_norm(t.bt).to_double();
+  e.g_norm = inf_norm(t.g).to_double();
+  e.at_norm = inf_norm(t.at).to_double();
+  e.kappa_1d = e.bt_norm * e.g_norm * e.at_norm;
+  e.kappa_2d = e.kappa_1d * e.kappa_1d;
+  return e;
+}
+
+ErrorModel error_model(int m, int r) { return error_model(transforms(m, r)); }
+
+}  // namespace wino::winograd

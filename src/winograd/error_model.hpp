@@ -1,0 +1,40 @@
+// Analytic numerical-error model for minimal filtering algorithms.
+//
+// The forward-error bound for Y = A^T[(G g G^T) . (B^T d B)]A scales with
+// the magnitudes of the transform matrices: each stage multiplies the
+// worst-case amplification by its max-absolute-row-sum (infinity) norm,
+// and the 2-D nesting squares it. The resulting amplification factor
+//     kappa(m, r) = (||B^T||_inf * ||G||_inf * ||A^T||_inf)^2
+// explains the error growth the ablation bench measures empirically and
+// quantifies why fp32 Winograd is limited to moderate m (and why
+// fixed-point needs guard bits that grow with m).
+#pragma once
+
+#include "winograd/cook_toom.hpp"
+
+namespace wino::winograd {
+
+/// Infinity norm (max absolute row sum) of a rational matrix, exact.
+common::Rational inf_norm(const RMatrix& m);
+
+/// Error-amplification summary of one transform set.
+struct ErrorModel {
+  double bt_norm = 0;   ///< ||B^T||_inf
+  double g_norm = 0;    ///< ||G||_inf
+  double at_norm = 0;   ///< ||A^T||_inf
+  double kappa_1d = 0;  ///< product of the three norms
+  double kappa_2d = 0;  ///< kappa_1d^2 (nested transform)
+
+  /// First-order fp32 error estimate for inputs bounded by `magnitude`:
+  /// kappa_2d * magnitude * 2^-24 (unit roundoff of binary32).
+  [[nodiscard]] double fp32_error_estimate(double magnitude = 1.0) const;
+
+  /// Integer guard bits a fixed-point datapath needs so intermediates do
+  /// not saturate for inputs in [-1, 1]: ceil(log2(max stage gain)).
+  [[nodiscard]] int required_guard_bits() const;
+};
+
+ErrorModel error_model(const TransformSet& t);
+ErrorModel error_model(int m, int r);
+
+}  // namespace wino::winograd

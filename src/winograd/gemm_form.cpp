@@ -1,0 +1,125 @@
+#include "winograd/gemm_form.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace wino::winograd {
+
+using tensor::Tensor4f;
+
+Tensor4f conv2d_winograd_gemm(const Tensor4f& input, const Tensor4f& kernels,
+                              int m, const WinogradConvOptions& opt) {
+  const auto& is = input.shape();
+  const auto& ks = kernels.shape();
+  if (ks.c != is.c) {
+    throw std::invalid_argument("conv2d_winograd_gemm: channel mismatch");
+  }
+  const TileTransformer xf(transforms(m, static_cast<int>(ks.h)));
+  const auto mm = static_cast<std::size_t>(m);
+  const auto n = static_cast<std::size_t>(xf.tile());
+  const std::size_t nsq = n * n;
+  const int pad = opt.pad;
+
+  const std::ptrdiff_t oh = static_cast<std::ptrdiff_t>(is.h) + 2 * pad -
+                            static_cast<std::ptrdiff_t>(ks.h) + 1;
+  const std::ptrdiff_t ow = static_cast<std::ptrdiff_t>(is.w) + 2 * pad -
+                            static_cast<std::ptrdiff_t>(ks.w) + 1;
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("conv2d_winograd_gemm: empty output");
+  }
+  const auto out_h = static_cast<std::size_t>(oh);
+  const auto out_w = static_cast<std::size_t>(ow);
+  const std::size_t tiles_h = (out_h + mm - 1) / mm;
+  const std::size_t tiles_w = (out_w + mm - 1) / mm;
+  const std::size_t tiles = tiles_h * tiles_w * is.n;
+
+  // Scatter phase: U[(xi,nu)][c][tile], V[(xi,nu)][k][c].
+  const TransformedKernels tk(xf, kernels);
+  std::vector<float> scattered_v(nsq * ks.n * ks.c);
+  for (std::size_t k = 0; k < ks.n; ++k) {
+    for (std::size_t c = 0; c < ks.c; ++c) {
+      const auto v = tk.v(k, c);
+      for (std::size_t e = 0; e < nsq; ++e) {
+        scattered_v[(e * ks.n + k) * ks.c + c] = v[e];
+      }
+    }
+  }
+
+  std::vector<float> scattered_u(nsq * is.c * tiles);
+  {
+    std::vector<float> d(nsq);
+    std::vector<float> u(nsq);
+    std::size_t tile_idx = 0;
+    for (std::size_t img = 0; img < is.n; ++img) {
+      for (std::size_t th = 0; th < tiles_h; ++th) {
+        for (std::size_t tw = 0; tw < tiles_w; ++tw, ++tile_idx) {
+          const std::ptrdiff_t y0 =
+              static_cast<std::ptrdiff_t>(th * mm) - pad;
+          const std::ptrdiff_t x0 =
+              static_cast<std::ptrdiff_t>(tw * mm) - pad;
+          for (std::size_t c = 0; c < is.c; ++c) {
+            for (std::size_t i = 0; i < n; ++i) {
+              for (std::size_t j = 0; j < n; ++j) {
+                d[i * n + j] = input.padded(
+                    img, c, y0 + static_cast<std::ptrdiff_t>(i),
+                    x0 + static_cast<std::ptrdiff_t>(j));
+              }
+            }
+            xf.transform_data(d, u);
+            for (std::size_t e = 0; e < nsq; ++e) {
+              scattered_u[(e * is.c + c) * tiles + tile_idx] = u[e];
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // GEMM phase: nsq independent [K x C] x [C x tiles] products.
+  std::vector<float> products(nsq * ks.n * tiles, 0.0F);
+  for (std::size_t e = 0; e < nsq; ++e) {
+    const float* vmat = &scattered_v[e * ks.n * ks.c];
+    const float* umat = &scattered_u[e * is.c * tiles];
+    float* out = &products[e * ks.n * tiles];
+    for (std::size_t k = 0; k < ks.n; ++k) {
+      for (std::size_t c = 0; c < ks.c; ++c) {
+        const float vkc = vmat[k * ks.c + c];
+        if (vkc == 0.0F) continue;
+        const float* urow = &umat[c * tiles];
+        float* orow = &out[k * tiles];
+        for (std::size_t b = 0; b < tiles; ++b) orow[b] += vkc * urow[b];
+      }
+    }
+  }
+
+  // Gather phase: per (k, tile), collect the nsq products and inverse-
+  // transform into the output tile.
+  Tensor4f out(is.n, ks.n, out_h, out_w);
+  std::vector<float> m_tile(nsq);
+  std::vector<float> y(mm * mm);
+  for (std::size_t k = 0; k < ks.n; ++k) {
+    std::size_t tile_idx = 0;
+    for (std::size_t img = 0; img < is.n; ++img) {
+      for (std::size_t th = 0; th < tiles_h; ++th) {
+        for (std::size_t tw = 0; tw < tiles_w; ++tw, ++tile_idx) {
+          for (std::size_t e = 0; e < nsq; ++e) {
+            m_tile[e] = products[(e * ks.n + k) * tiles + tile_idx];
+          }
+          xf.inverse(m_tile, y);
+          for (std::size_t i = 0; i < mm; ++i) {
+            const std::size_t oy = th * mm + i;
+            if (oy >= out_h) break;
+            for (std::size_t j = 0; j < mm; ++j) {
+              const std::size_t ox = tw * mm + j;
+              if (ox >= out_w) break;
+              out(img, k, oy, ox) = y[i * mm + j];
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wino::winograd

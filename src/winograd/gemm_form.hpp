@@ -1,0 +1,24 @@
+// Batched-GEMM formulation of Winograd convolution (Lavin & Gray, Section
+// 4): after the data/filter transforms, each of the (m+r-1)^2 transform-
+// domain coordinates (xi, nu) is an independent [K x C] x [C x tiles]
+// matrix multiply:
+//     M(xi,nu)[k, b] = sum_c V(xi,nu)[k, c] * U(xi,nu)[c, b]
+// This reduces the reduction over channels to dense GEMMs — the reason
+// Winograd maps well onto GPUs/BLAS — and provides a third, structurally
+// different implementation of the same convolution for cross-validation.
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "winograd/kernels.hpp"
+
+namespace wino::winograd {
+
+/// Layer convolution via the scatter/GEMM/gather pipeline. Numerically
+/// equivalent to conv2d_winograd (different accumulation order; tests
+/// bound the difference). Stride 1, symmetric zero padding.
+tensor::Tensor4f conv2d_winograd_gemm(const tensor::Tensor4f& input,
+                                      const tensor::Tensor4f& kernels,
+                                      int m,
+                                      const WinogradConvOptions& opt = {});
+
+}  // namespace wino::winograd

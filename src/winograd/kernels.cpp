@@ -1,0 +1,217 @@
+#include "winograd/kernels.hpp"
+
+#include <stdexcept>
+
+namespace wino::winograd {
+
+using tensor::Tensor4f;
+
+TileTransformer::TileTransformer(const TransformSet& t)
+    : m_(t.m), r_(t.r), n_(t.tile()), bt_(t.bt_f()), g_(t.g_f()),
+      at_(t.at_f()) {}
+
+void TileTransformer::sandwich(const FMatrix& mat, std::span<const float> in,
+                               std::span<float> out) const {
+  const std::size_t rows = mat.rows();
+  const std::size_t cols = mat.cols();
+  if (in.size() != cols * cols || out.size() != rows * rows) {
+    throw std::invalid_argument("sandwich: tile size mismatch");
+  }
+  // tmp = mat * in  (rows x cols)
+  std::vector<float> tmp(rows * cols, 0.0F);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t k = 0; k < cols; ++k) {
+      const float a = mat(i, k);
+      if (a == 0.0F) continue;
+      for (std::size_t j = 0; j < cols; ++j) {
+        tmp[i * cols + j] += a * in[k * cols + j];
+      }
+    }
+  }
+  // out = tmp * mat^T (rows x rows)
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < rows; ++j) {
+      float acc = 0.0F;
+      for (std::size_t k = 0; k < cols; ++k) {
+        acc += tmp[i * cols + k] * mat(j, k);
+      }
+      out[i * rows + j] = acc;
+    }
+  }
+}
+
+void TileTransformer::transform_filter(std::span<const float> g,
+                                       std::span<float> v) const {
+  sandwich(g_, g, v);
+}
+
+void TileTransformer::transform_data(std::span<const float> d,
+                                     std::span<float> u) const {
+  sandwich(bt_, d, u);
+}
+
+void TileTransformer::inverse(std::span<const float> mm,
+                              std::span<float> y) const {
+  sandwich(at_, mm, y);
+}
+
+void TileTransformer::convolve_tile(std::span<const float> d,
+                                    std::span<const float> g,
+                                    std::span<float> y) const {
+  const auto nsq = static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_);
+  std::vector<float> u(nsq);
+  std::vector<float> v(nsq);
+  transform_data(d, u);
+  transform_filter(g, v);
+  for (std::size_t i = 0; i < nsq; ++i) u[i] *= v[i];
+  inverse(u, y);
+}
+
+void TileTransformer::convolve_1d(std::span<const float> d,
+                                  std::span<const float> g,
+                                  std::span<float> y) const {
+  const auto n = static_cast<std::size_t>(n_);
+  if (d.size() != n || g.size() != static_cast<std::size_t>(r_) ||
+      y.size() != static_cast<std::size_t>(m_)) {
+    throw std::invalid_argument("convolve_1d: size mismatch");
+  }
+  std::vector<float> u(n, 0.0F);
+  std::vector<float> v(n, 0.0F);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) u[i] += bt_(i, j) * d[j];
+    for (std::size_t j = 0; j < g.size(); ++j) v[i] += g_(i, j) * g[j];
+    u[i] *= v[i];
+  }
+  for (std::size_t k = 0; k < y.size(); ++k) {
+    float acc = 0.0F;
+    for (std::size_t i = 0; i < n; ++i) acc += at_(k, i) * u[i];
+    y[k] = acc;
+  }
+}
+
+TransformedKernels::TransformedKernels(const TileTransformer& xf,
+                                       const Tensor4f& kernels)
+    : kernels_(kernels.shape().n), channels_(kernels.shape().c),
+      tile_sq_(static_cast<std::size_t>(xf.tile()) *
+               static_cast<std::size_t>(xf.tile())) {
+  const auto r = static_cast<std::size_t>(xf.r());
+  if (kernels.shape().h != r || kernels.shape().w != r) {
+    throw std::invalid_argument("TransformedKernels: kernel size != r x r");
+  }
+  data_.resize(kernels_ * channels_ * tile_sq_);
+  std::vector<float> g(r * r);
+  for (std::size_t k = 0; k < kernels_; ++k) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      for (std::size_t u = 0; u < r; ++u) {
+        for (std::size_t v = 0; v < r; ++v) g[u * r + v] = kernels(k, c, u, v);
+      }
+      xf.transform_filter(
+          g, {data_.data() + (k * channels_ + c) * tile_sq_, tile_sq_});
+    }
+  }
+}
+
+Tensor4f conv2d_winograd(const Tensor4f& input, const Tensor4f& kernels,
+                         int m, const WinogradConvOptions& opt) {
+  const TileTransformer xf(
+      transforms(m, static_cast<int>(kernels.shape().h)));
+  return conv2d_winograd(input, kernels, xf, opt);
+}
+
+Tensor4f conv2d_winograd(const Tensor4f& input, const Tensor4f& kernels,
+                         const TileTransformer& xf,
+                         const WinogradConvOptions& opt) {
+  const auto& is = input.shape();
+  const auto& ks = kernels.shape();
+  const auto r = static_cast<std::size_t>(xf.r());
+  if (ks.h != r || ks.w != r) {
+    throw std::invalid_argument("conv2d_winograd: kernel shape mismatch");
+  }
+  if (ks.c != is.c) {
+    throw std::invalid_argument("conv2d_winograd: channel mismatch");
+  }
+  const int pad = opt.pad;
+  const std::ptrdiff_t oh =
+      static_cast<std::ptrdiff_t>(is.h) + 2 * pad - static_cast<std::ptrdiff_t>(r) + 1;
+  const std::ptrdiff_t ow =
+      static_cast<std::ptrdiff_t>(is.w) + 2 * pad - static_cast<std::ptrdiff_t>(r) + 1;
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("conv2d_winograd: output would be empty");
+  }
+  const auto out_h = static_cast<std::size_t>(oh);
+  const auto out_w = static_cast<std::size_t>(ow);
+
+  const auto mm = static_cast<std::size_t>(xf.m());
+  const auto n = static_cast<std::size_t>(xf.tile());
+  const std::size_t nsq = n * n;
+  const std::size_t tiles_h = (out_h + mm - 1) / mm;
+  const std::size_t tiles_w = (out_w + mm - 1) / mm;
+
+  const TransformedKernels tk(xf, kernels);
+  Tensor4f out(is.n, ks.n, out_h, out_w);
+
+  std::vector<float> d(nsq);
+  // Data transforms for all channels of the current tile, computed once
+  // and shared across the K kernels — the software mirror of the paper's
+  // first hardware contribution (Section IV-E): U is independent of k, so
+  // recomputing it per kernel (as [3]'s PEs do) is redundant.
+  std::vector<float> u_all(is.c * nsq);
+  std::vector<float> prod(nsq);
+  std::vector<float> acc_m(nsq);
+  std::vector<float> y(mm * mm);
+  std::vector<float> acc_y(mm * mm);
+
+  for (std::size_t img = 0; img < is.n; ++img) {
+    for (std::size_t th = 0; th < tiles_h; ++th) {
+      for (std::size_t tw = 0; tw < tiles_w; ++tw) {
+        const std::ptrdiff_t y0 = static_cast<std::ptrdiff_t>(th * mm) - pad;
+        const std::ptrdiff_t x0 = static_cast<std::ptrdiff_t>(tw * mm) - pad;
+
+        for (std::size_t c = 0; c < is.c; ++c) {
+          // Gather the (possibly padded) input tile.
+          for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+              d[i * n + j] =
+                  input.padded(img, c, y0 + static_cast<std::ptrdiff_t>(i),
+                               x0 + static_cast<std::ptrdiff_t>(j));
+            }
+          }
+          xf.transform_data(d, {u_all.data() + c * nsq, nsq});
+        }
+
+        for (std::size_t k = 0; k < ks.n; ++k) {
+          std::fill(acc_m.begin(), acc_m.end(), 0.0F);
+          std::fill(acc_y.begin(), acc_y.end(), 0.0F);
+          for (std::size_t c = 0; c < is.c; ++c) {
+            const float* u = u_all.data() + c * nsq;
+            const auto v = tk.v(k, c);
+            if (opt.accumulation == AccumulationOrder::kTransformDomain) {
+              for (std::size_t i = 0; i < nsq; ++i) acc_m[i] += u[i] * v[i];
+            } else {
+              for (std::size_t i = 0; i < nsq; ++i) prod[i] = u[i] * v[i];
+              xf.inverse(prod, y);
+              for (std::size_t i = 0; i < y.size(); ++i) acc_y[i] += y[i];
+            }
+          }
+          if (opt.accumulation == AccumulationOrder::kTransformDomain) {
+            xf.inverse(acc_m, acc_y);
+          }
+
+          // Scatter the m x m output tile, clipping the right/bottom edge.
+          for (std::size_t i = 0; i < mm; ++i) {
+            const std::size_t oy = th * mm + i;
+            if (oy >= out_h) break;
+            for (std::size_t j = 0; j < mm; ++j) {
+              const std::size_t ox = tw * mm + j;
+              if (ox >= out_w) break;
+              out(img, k, oy, ox) = acc_y[i * mm + j];
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wino::winograd

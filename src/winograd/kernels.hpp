@@ -1,0 +1,111 @@
+// Runtime Winograd convolution kernels (float): 1-D F(m, r), 2-D nested
+// F(m x m, r x r) tile operations, and full NCHW layer convolution.
+//
+// Layer-level evaluation mirrors the paper's system (Fig 7): the image is
+// decomposed into overlapping (m+r-1)^2 tiles with stride m, kernels are
+// pre-transformed once (V = G g G^T, Section IV "filter transforms are
+// assumed to be precomputed"), and channel accumulation happens either in
+// the transform domain (software-optimal, one inverse per output tile) or
+// after the inverse transform (matching the hardware's accumulation
+// buffers). Both orders are exposed because their equivalence is a linearity
+// property the test suite checks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "winograd/cook_toom.hpp"
+
+namespace wino::winograd {
+
+/// Where the reduction over input channels is performed.
+enum class AccumulationOrder {
+  kTransformDomain,  ///< sum U_c . V_c over c, single inverse per tile
+  kPostInverse       ///< inverse per channel, sum outputs (paper's Fig 7)
+};
+
+/// Precompiled float-domain tile transformer for one F(m x m, r x r).
+/// Stateless after construction; safe to share across threads for reads.
+class TileTransformer {
+ public:
+  explicit TileTransformer(const TransformSet& t);
+
+  [[nodiscard]] int m() const { return m_; }
+  [[nodiscard]] int r() const { return r_; }
+  [[nodiscard]] int tile() const { return n_; }
+
+  /// V = G g G^T. g: r*r row-major, v: n*n row-major.
+  void transform_filter(std::span<const float> g, std::span<float> v) const;
+
+  /// U = B^T d B. d: n*n row-major, u: n*n.
+  void transform_data(std::span<const float> d, std::span<float> u) const;
+
+  /// Y = A^T M A. mm: n*n, y: m*m.
+  void inverse(std::span<const float> mm, std::span<float> y) const;
+
+  /// Full tile convolution Y = A^T[(G g G^T) . (B^T d B)]A.
+  void convolve_tile(std::span<const float> d, std::span<const float> g,
+                     std::span<float> y) const;
+
+  /// 1-D convolution y = A^T[(G g) . (B^T d)]; d has n elements, g has r,
+  /// y has m.
+  void convolve_1d(std::span<const float> d, std::span<const float> g,
+                   std::span<float> y) const;
+
+ private:
+  // Apply `mat` (rows x cols) along rows then columns of a square tile:
+  // out = mat * in * mat^T, in: cols x cols, out: rows x rows.
+  void sandwich(const FMatrix& mat, std::span<const float> in,
+                std::span<float> out) const;
+
+  int m_ = 0;
+  int r_ = 0;
+  int n_ = 0;
+  FMatrix bt_;
+  FMatrix g_;
+  FMatrix at_;
+};
+
+/// Options for layer-level Winograd convolution.
+struct WinogradConvOptions {
+  int pad = 0;  ///< symmetric zero padding (VGG uses pad = 1 for r = 3)
+  AccumulationOrder accumulation = AccumulationOrder::kTransformDomain;
+};
+
+/// Pre-transformed kernel bank: V tiles for K x C kernels, each n*n floats,
+/// laid out [k][c][n*n] contiguously.
+class TransformedKernels {
+ public:
+  TransformedKernels(const TileTransformer& xf,
+                     const tensor::Tensor4f& kernels);
+
+  [[nodiscard]] std::span<const float> v(std::size_t k, std::size_t c) const {
+    return {data_.data() + (k * channels_ + c) * tile_sq_, tile_sq_};
+  }
+  [[nodiscard]] std::size_t kernel_count() const { return kernels_; }
+  [[nodiscard]] std::size_t channels() const { return channels_; }
+
+ private:
+  std::size_t kernels_ = 0;
+  std::size_t channels_ = 0;
+  std::size_t tile_sq_ = 0;
+  std::vector<float> data_;
+};
+
+/// Convolve an NCHW input with a KCrr kernel bank using F(m x m, r x r),
+/// stride 1. Output spatial size is (H + 2 pad - r + 1) x (W + 2 pad - r + 1).
+/// The result is numerically equivalent (up to float rounding) to
+/// conv::conv2d_spatial; tests bound the difference.
+tensor::Tensor4f conv2d_winograd(const tensor::Tensor4f& input,
+                                 const tensor::Tensor4f& kernels, int m,
+                                 const WinogradConvOptions& opt = {});
+
+/// As above but with a caller-provided transformer (avoids transform
+/// regeneration in inner loops).
+tensor::Tensor4f conv2d_winograd(const tensor::Tensor4f& input,
+                                 const tensor::Tensor4f& kernels,
+                                 const TileTransformer& xf,
+                                 const WinogradConvOptions& opt = {});
+
+}  // namespace wino::winograd

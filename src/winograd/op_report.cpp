@@ -1,0 +1,32 @@
+#include "winograd/op_report.hpp"
+
+namespace wino::winograd {
+
+TransformOpReport transform_op_report(const TransformSet& t, bool optimised) {
+  TransformOpReport rep;
+  rep.m = t.m;
+  rep.r = t.r;
+  const auto n = static_cast<std::size_t>(t.tile());
+  const auto m = static_cast<std::size_t>(t.m);
+  const auto r = static_cast<std::size_t>(t.r);
+
+  const LinearProgram data = LinearProgram::from_matrix(t.bt, optimised);
+  const LinearProgram filter = LinearProgram::from_matrix(t.g, optimised);
+  const LinearProgram inverse = LinearProgram::from_matrix(t.at, optimised);
+
+  rep.data_1d = data.counts();
+  rep.filter_1d = filter.counts();
+  rep.inverse_1d = inverse.counts();
+  rep.data_2d = data.counts() * (2 * n);
+  rep.filter_2d = filter.counts() * (r + n);
+  rep.inverse_2d = inverse.counts() * (n + m);
+  rep.data_depth = data.dag_depth();
+  rep.inverse_depth = inverse.dag_depth();
+  return rep;
+}
+
+TransformOpReport transform_op_report(int m, int r, bool optimised) {
+  return transform_op_report(transforms(m, r), optimised);
+}
+
+}  // namespace wino::winograd

@@ -1,0 +1,45 @@
+// Per-tile 2-D transform operation counts (beta, gamma, delta) derived from
+// the generated LinearPrograms. These are the inputs to the paper's Eq 5
+// transform-complexity model and to the FPGA resource estimator.
+#pragma once
+
+#include "winograd/cook_toom.hpp"
+#include "winograd/program.hpp"
+
+namespace wino::winograd {
+
+/// Operation counts for each transform of one F(m x m, r x r), both for a
+/// single 1-D application and for a full 2-D tile.
+///
+/// A 2-D transform applies its 1-D program along both tile axes:
+///   data    U = B^T d B : 2n applications of the B^T program,
+///   filter  V = G g G^T : (r + n) applications of the G program,
+///   inverse Y = A^T M A : (n + m) applications of the A^T program,
+/// with n = m + r - 1 (Lavin's counting, reproduced in the paper's Eq 5).
+struct TransformOpReport {
+  int m = 0;
+  int r = 0;
+  OpCounts data_1d;
+  OpCounts filter_1d;
+  OpCounts inverse_1d;
+  OpCounts data_2d;     ///< beta in Eq 5, as FLOP count via .flops()
+  OpCounts filter_2d;   ///< gamma
+  OpCounts inverse_2d;  ///< delta
+  std::size_t data_depth = 0;     ///< DAG depth of the 1-D data program
+  std::size_t inverse_depth = 0;  ///< DAG depth of the 1-D inverse program
+
+  [[nodiscard]] std::size_t beta() const { return data_2d.flops(); }
+  [[nodiscard]] std::size_t gamma() const { return filter_2d.flops(); }
+  [[nodiscard]] std::size_t delta() const { return inverse_2d.flops(); }
+};
+
+/// Build the report for F(m, r) with the default interpolation points.
+/// `optimised` selects CSE'd programs (hand-optimised-hardware equivalent)
+/// versus naive row evaluation.
+TransformOpReport transform_op_report(int m, int r, bool optimised = true);
+
+/// Build the report for an explicit transform set.
+TransformOpReport transform_op_report(const TransformSet& t,
+                                      bool optimised = true);
+
+}  // namespace wino::winograd

@@ -1,0 +1,348 @@
+#include "winograd/program.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace wino::winograd {
+
+using common::Matrix;
+using common::Rational;
+
+namespace {
+
+/// A row under construction: signed references to value slots, to be summed.
+struct Term {
+  std::size_t slot = 0;
+  bool negative = false;
+};
+
+struct RowBuild {
+  std::vector<Term> terms;
+  Rational post_scale{1};  ///< applied after the summation (row factoring)
+};
+
+bool is_pow2_abs(const Rational& r) { return r.is_pow2_scaled(); }
+
+/// Normalise a row of rational coefficients to integer coefficients with
+/// gcd 1, returning the extracted scalar factor (coeffs = factor * ints).
+Rational integer_normalise(std::vector<Rational>& coeffs) {
+  // Common denominator.
+  std::int64_t den = 1;
+  for (const auto& c : coeffs) {
+    if (!c.is_zero()) den = std::lcm(den, c.den());
+  }
+  std::int64_t gcd = 0;
+  for (auto& c : coeffs) {
+    c *= Rational(den);
+    gcd = std::gcd(gcd, c.num());
+  }
+  if (gcd == 0) return Rational(1);  // all-zero row
+  for (auto& c : coeffs) c /= Rational(gcd);
+  return Rational(gcd, den);
+}
+
+}  // namespace
+
+namespace {
+enum class BuildMode { kNaive, kCseNormalised, kCseRaw };
+}  // namespace
+
+LinearProgram LinearProgram::build(const Matrix<Rational>& m, int mode_tag) {
+  const auto mode = static_cast<BuildMode>(mode_tag);
+  const bool enable_cse = mode != BuildMode::kNaive;
+  const bool normalise_rows = mode == BuildMode::kCseNormalised;
+  LinearProgram p;
+  p.inputs_ = m.cols();
+  p.outputs_ = m.rows();
+  p.slots_ = p.inputs_;
+  p.output_slots_.assign(p.outputs_, 0);
+
+  const auto new_slot = [&p] { return p.slots_++; };
+
+  // Reserved all-zero slot for structurally zero rows (slot values default
+  // to zero in the interpreter).
+  const std::size_t zero_slot = new_slot();
+
+  const auto emit = [&p](Op op) -> std::size_t {
+    switch (op.kind) {
+      case OpKind::kAdd:
+      case OpKind::kSub:
+        ++p.counts_.adds;
+        break;
+      case OpKind::kShiftMul:
+        ++p.counts_.shifts;
+        break;
+      case OpKind::kConstMul:
+        ++p.counts_.const_mults;
+        break;
+      case OpKind::kNeg:
+        ++p.counts_.negs;
+        break;
+      case OpKind::kCopy:
+        ++p.counts_.copies;
+        break;
+    }
+    p.ops_.push_back(op);
+    return op.dst;
+  };
+
+  // Shared cache of scaled inputs: (input slot, |constant|) -> slot.
+  std::map<std::pair<std::size_t, std::pair<std::int64_t, std::int64_t>>,
+           std::size_t>
+      scaled_cache;
+  const auto scaled = [&](std::size_t src, const Rational& c) -> Term {
+    const Rational a = c.abs();
+    if (a.is_one()) return Term{src, c < Rational(0)};
+    const auto key = std::make_pair(src, std::make_pair(a.num(), a.den()));
+    if (enable_cse) {
+      if (const auto it = scaled_cache.find(key); it != scaled_cache.end()) {
+        return Term{it->second, c < Rational(0)};
+      }
+    }
+    Op op;
+    op.kind = is_pow2_abs(a) ? OpKind::kShiftMul : OpKind::kConstMul;
+    op.dst = new_slot();
+    op.src_a = src;
+    op.constant = a;
+    emit(op);
+    if (enable_cse) scaled_cache[key] = op.dst;
+    return Term{op.dst, c < Rational(0)};
+  };
+
+  // Stage 1: convert rows to signed-term form.
+  std::vector<RowBuild> rows(p.outputs_);
+  for (std::size_t r = 0; r < p.outputs_; ++r) {
+    std::vector<Rational> coeffs(p.inputs_);
+    for (std::size_t c = 0; c < p.inputs_; ++c) coeffs[c] = m(r, c);
+    Rational factor(1);
+    if (normalise_rows) factor = integer_normalise(coeffs);
+    rows[r].post_scale = factor;
+    for (std::size_t c = 0; c < p.inputs_; ++c) {
+      if (coeffs[c].is_zero()) continue;
+      rows[r].terms.push_back(scaled(c, coeffs[c]));
+    }
+  }
+
+  // Stage 2: greedy extraction of repeated signed pairs across rows.
+  if (enable_cse) {
+    for (;;) {
+      // Canonical pair key: (slot_lo, slot_hi, relative sign), where the
+      // overall sign is normalised so the low slot is positive.
+      struct PairKey {
+        std::size_t lo, hi;
+        bool opposite;
+        auto operator<=>(const PairKey&) const = default;
+      };
+      std::map<PairKey, int> freq;
+      for (const auto& row : rows) {
+        for (std::size_t i = 0; i < row.terms.size(); ++i) {
+          for (std::size_t j = i + 1; j < row.terms.size(); ++j) {
+            Term a = row.terms[i];
+            Term b = row.terms[j];
+            if (a.slot == b.slot) continue;
+            if (a.slot > b.slot) std::swap(a, b);
+            ++freq[{a.slot, b.slot, a.negative != b.negative}];
+          }
+        }
+      }
+      auto best = freq.end();
+      for (auto it = freq.begin(); it != freq.end(); ++it) {
+        if (it->second >= 2 &&
+            (best == freq.end() || it->second > best->second)) {
+          best = it;
+        }
+      }
+      if (best == freq.end()) break;
+
+      const auto [lo, hi, opposite] = best->first;
+      Op op;
+      op.kind = opposite ? OpKind::kSub : OpKind::kAdd;
+      op.dst = new_slot();
+      op.src_a = lo;
+      op.src_b = hi;
+      const std::size_t pair_slot = emit(op);
+
+      for (auto& row : rows) {
+        // Find an occurrence of the pair (possibly globally negated).
+        for (std::size_t i = 0; i < row.terms.size(); ++i) {
+          bool replaced = false;
+          for (std::size_t j = i + 1; j < row.terms.size(); ++j) {
+            Term a = row.terms[i];
+            Term b = row.terms[j];
+            if (a.slot == b.slot) continue;
+            bool negated = false;
+            if (a.slot > b.slot) std::swap(a, b);
+            if (a.slot != lo || b.slot != hi) continue;
+            if ((a.negative != b.negative) != opposite) continue;
+            // Matches the pair shape; the instance is negated when the low
+            // slot appears with a minus sign.
+            negated = a.negative;
+            row.terms.erase(row.terms.begin() + static_cast<std::ptrdiff_t>(j));
+            row.terms.erase(row.terms.begin() + static_cast<std::ptrdiff_t>(i));
+            row.terms.push_back(Term{pair_slot, negated});
+            replaced = true;
+            break;
+          }
+          if (replaced) break;
+        }
+      }
+    }
+  }
+
+  // Stage 3: realise each row as an add/sub chain plus optional post scale.
+  for (std::size_t r = 0; r < p.outputs_; ++r) {
+    auto& row = rows[r];
+    std::size_t acc;
+    if (row.terms.empty()) {
+      acc = zero_slot;
+    } else {
+      // Prefer a positive leading term to avoid a negation op.
+      const auto lead = std::find_if(row.terms.begin(), row.terms.end(),
+                                     [](const Term& t) { return !t.negative; });
+      if (lead != row.terms.end()) std::iter_swap(row.terms.begin(), lead);
+
+      if (row.terms.front().negative) {
+        // All terms negative: sum positives, negate once at the end.
+        row.post_scale = -row.post_scale;
+        for (auto& t : row.terms) t.negative = false;
+      }
+      acc = row.terms.front().slot;
+      for (std::size_t i = 1; i < row.terms.size(); ++i) {
+        Op op;
+        op.kind = row.terms[i].negative ? OpKind::kSub : OpKind::kAdd;
+        op.dst = new_slot();
+        op.src_a = acc;
+        op.src_b = row.terms[i].slot;
+        acc = emit(op);
+      }
+    }
+    if (!row.post_scale.is_one()) {
+      if (row.post_scale == Rational(-1)) {
+        Op op;
+        op.kind = OpKind::kNeg;
+        op.dst = new_slot();
+        op.src_a = acc;
+        acc = emit(op);
+      } else {
+        Op op;
+        op.kind = is_pow2_abs(row.post_scale) ? OpKind::kShiftMul
+                                              : OpKind::kConstMul;
+        op.dst = new_slot();
+        op.src_a = acc;
+        op.constant = row.post_scale;
+        acc = emit(op);
+      }
+    }
+    p.output_slots_[r] = acc;
+  }
+
+  return p;
+}
+
+LinearProgram LinearProgram::from_matrix(const Matrix<Rational>& m,
+                                         bool enable_cse) {
+  if (!enable_cse) return build(m, static_cast<int>(BuildMode::kNaive));
+  // Row factoring (pulling a common rational scale out of a row) wins on
+  // filter transforms with 1/N_i rows but can lose on Vandermonde-like
+  // inverse transforms; build both and keep the cheaper netlist, breaking
+  // ties toward fewer generic multipliers (the expensive resource).
+  LinearProgram norm = build(m, static_cast<int>(BuildMode::kCseNormalised));
+  LinearProgram raw = build(m, static_cast<int>(BuildMode::kCseRaw));
+  const auto cost = [](const LinearProgram& p) {
+    return std::make_pair(p.counts().flops(), p.counts().const_mults);
+  };
+  return cost(norm) <= cost(raw) ? std::move(norm) : std::move(raw);
+}
+
+std::size_t LinearProgram::dag_depth() const {
+  std::vector<std::size_t> depth(slots_, 0);
+  for (const Op& op : ops_) {
+    std::size_t d = depth[op.src_a];
+    if (op.kind == OpKind::kAdd || op.kind == OpKind::kSub) {
+      d = std::max(d, depth[op.src_b]);
+    }
+    depth[op.dst] = d + 1;
+  }
+  std::size_t worst = 0;
+  for (const std::size_t s : output_slots_) worst = std::max(worst, depth[s]);
+  return worst;
+}
+
+template <typename T>
+void LinearProgram::run(std::span<const T> in, std::span<T> out) const {
+  if (in.size() != inputs_ || out.size() != outputs_) {
+    throw std::invalid_argument("LinearProgram::execute size mismatch");
+  }
+  std::vector<T> slots(slots_, T{});
+  std::copy(in.begin(), in.end(), slots.begin());
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case OpKind::kAdd:
+        slots[op.dst] = slots[op.src_a] + slots[op.src_b];
+        break;
+      case OpKind::kSub:
+        slots[op.dst] = slots[op.src_a] - slots[op.src_b];
+        break;
+      case OpKind::kNeg:
+        slots[op.dst] = -slots[op.src_a];
+        break;
+      case OpKind::kShiftMul:
+      case OpKind::kConstMul:
+        slots[op.dst] =
+            slots[op.src_a] * static_cast<T>(op.constant.to_double());
+        break;
+      case OpKind::kCopy:
+        slots[op.dst] = slots[op.src_a];
+        break;
+    }
+  }
+  for (std::size_t r = 0; r < outputs_; ++r) out[r] = slots[output_slots_[r]];
+}
+
+void LinearProgram::execute(std::span<const float> in,
+                            std::span<float> out) const {
+  run<float>(in, out);
+}
+
+void LinearProgram::execute(std::span<const double> in,
+                            std::span<double> out) const {
+  run<double>(in, out);
+}
+
+std::string LinearProgram::to_string() const {
+  std::ostringstream os;
+  os << "inputs=" << inputs_ << " outputs=" << outputs_ << "\n";
+  for (const Op& op : ops_) {
+    os << "  t" << op.dst << " = ";
+    switch (op.kind) {
+      case OpKind::kAdd:
+        os << "t" << op.src_a << " + t" << op.src_b;
+        break;
+      case OpKind::kSub:
+        os << "t" << op.src_a << " - t" << op.src_b;
+        break;
+      case OpKind::kNeg:
+        os << "-t" << op.src_a;
+        break;
+      case OpKind::kShiftMul:
+        os << "t" << op.src_a << " <<* " << op.constant.to_string();
+        break;
+      case OpKind::kConstMul:
+        os << "t" << op.src_a << " * " << op.constant.to_string();
+        break;
+      case OpKind::kCopy:
+        os << "t" << op.src_a;
+        break;
+    }
+    os << "\n";
+  }
+  os << "  outputs:";
+  for (const std::size_t s : output_slots_) os << " t" << s;
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace wino::winograd

@@ -1,0 +1,138 @@
+// Straight-line program representation of a constant linear transform
+// y = M x, with operation classification and common-subexpression
+// elimination.
+//
+// This is the bridge between the exact transform matrices and both sides of
+// the paper's cost model:
+//   * DSE arithmetic complexity (Eq 5): beta / gamma / delta are the
+//     operation counts of the 2-D data / filter / inverse transform
+//     programs;
+//   * hardware cost (Table I): the resource estimator charges LUTs/FFs per
+//     adder and per constant multiplier, and DSPs per generic multiplier,
+//     so the program is effectively the netlist of a transform stage.
+//
+// Operation classes follow the paper's hardware discussion (Section IV-B):
+// multiplications by +-2^k are realisable "using shifters and adders" and
+// are therefore distinguished from generic constant multiplications.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rational.hpp"
+
+namespace wino::winograd {
+
+enum class OpKind {
+  kAdd,       ///< dst = src_a + src_b
+  kSub,       ///< dst = src_a - src_b
+  kNeg,       ///< dst = -src_a
+  kShiftMul,  ///< dst = src_a * c, |c| an integral power of two (or its
+              ///< reciprocal): free-ish in fixed point, exponent-add in
+              ///< float
+  kConstMul,  ///< dst = src_a * c, generic constant
+  kCopy       ///< dst = src_a (wiring, zero hardware cost)
+};
+
+/// One operation over the program's value slots. Slots [0, inputs) hold the
+/// inputs; every op writes a fresh slot (SSA form).
+struct Op {
+  OpKind kind = OpKind::kCopy;
+  std::size_t dst = 0;
+  std::size_t src_a = 0;
+  std::size_t src_b = 0;            ///< unused for unary ops
+  common::Rational constant{1};     ///< used by kShiftMul / kConstMul
+};
+
+/// Aggregate operation counts of a program.
+struct OpCounts {
+  std::size_t adds = 0;        ///< kAdd + kSub
+  std::size_t shifts = 0;      ///< kShiftMul
+  std::size_t const_mults = 0; ///< kConstMul
+  std::size_t negs = 0;        ///< kNeg (sign flip; free on adder ports)
+  std::size_t copies = 0;
+
+  /// Floating point instruction count in the sense of Lavin / the paper's
+  /// Eq 5: every arithmetic instruction including constant scalings.
+  [[nodiscard]] std::size_t flops() const {
+    return adds + shifts + const_mults;
+  }
+  /// Count excluding power-of-two scalings, matching the paper's remark
+  /// that those are implementable "using shifters" (Section IV-B).
+  [[nodiscard]] std::size_t hw_ops() const { return adds + const_mults; }
+
+  OpCounts& operator+=(const OpCounts& o) {
+    adds += o.adds;
+    shifts += o.shifts;
+    const_mults += o.const_mults;
+    negs += o.negs;
+    copies += o.copies;
+    return *this;
+  }
+  friend OpCounts operator*(OpCounts c, std::size_t k) {
+    c.adds *= k;
+    c.shifts *= k;
+    c.const_mults *= k;
+    c.negs *= k;
+    c.copies *= k;
+    return c;
+  }
+  friend OpCounts operator+(OpCounts a, const OpCounts& b) { return a += b; }
+};
+
+/// A straight-line evaluation of y = M x for a fixed rational matrix M.
+///
+/// Construction strategies:
+///  * naive: per output row, scale each non-unit term then chain adds;
+///  * cse:   additionally share scaled terms across rows and greedily
+///           extract repeated signed pairs (classic two-term CSE), which is
+///           how hand-optimised FPGA transform datapaths are written.
+class LinearProgram {
+ public:
+  /// Build from matrix; `enable_cse` selects the optimised strategy.
+  static LinearProgram from_matrix(const common::Matrix<common::Rational>& m,
+                                   bool enable_cse = true);
+
+  [[nodiscard]] const OpCounts& counts() const { return counts_; }
+  [[nodiscard]] std::size_t inputs() const { return inputs_; }
+  [[nodiscard]] std::size_t outputs() const { return outputs_; }
+  [[nodiscard]] const std::vector<Op>& ops() const { return ops_; }
+  /// Slot index (SSA value) feeding each output row; slots below inputs()
+  /// are the inputs themselves, unwritten slots read as zero.
+  [[nodiscard]] const std::vector<std::size_t>& output_slots() const {
+    return output_slots_;
+  }
+  [[nodiscard]] std::size_t slot_count() const { return slots_; }
+
+  /// Number of pipeline register stages a direct hardware mapping of this
+  /// program needs: the depth of the operation DAG (longest chain).
+  [[nodiscard]] std::size_t dag_depth() const;
+
+  /// Interpret the program. in.size() must equal inputs(), out.size()
+  /// outputs(). The result must match the defining matrix-vector product
+  /// exactly in exact arithmetic (tests assert this in float/double).
+  void execute(std::span<const float> in, std::span<float> out) const;
+  void execute(std::span<const double> in, std::span<double> out) const;
+
+  /// Human-readable listing for docs/debugging.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  static LinearProgram build(const common::Matrix<common::Rational>& m,
+                             int mode_tag);
+
+  template <typename T>
+  void run(std::span<const T> in, std::span<T> out) const;
+
+  std::size_t inputs_ = 0;
+  std::size_t outputs_ = 0;
+  std::size_t slots_ = 0;
+  std::vector<Op> ops_;
+  std::vector<std::size_t> output_slots_;
+  OpCounts counts_;
+};
+
+}  // namespace wino::winograd

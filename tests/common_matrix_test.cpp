@@ -1,0 +1,98 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rational.hpp"
+
+namespace wino::common {
+namespace {
+
+using RMat = Matrix<Rational>;
+
+TEST(Matrix, InitializerList) {
+  const RMat m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(1, 0), Rational(3));
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((RMat{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  RMat m(2, 3);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 3), std::out_of_range);
+  EXPECT_NO_THROW(m.at(1, 2));
+}
+
+TEST(Matrix, Transpose) {
+  const RMat m{{1, 2, 3}, {4, 5, 6}};
+  const RMat t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), Rational(6));
+}
+
+TEST(Matrix, Product) {
+  const RMat a{{1, 2}, {3, 4}};
+  const RMat b{{5, 6}, {7, 8}};
+  const RMat c = a * b;
+  EXPECT_EQ(c, (RMat{{19, 22}, {43, 50}}));
+}
+
+TEST(Matrix, ProductDimensionMismatchThrows) {
+  const RMat a(2, 3);
+  const RMat b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  const RMat i = RMat::identity(3);
+  const RMat m{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}};
+  EXPECT_EQ(i * m, m);
+  EXPECT_EQ(m * i, m);
+}
+
+TEST(Matrix, ExactInverse) {
+  const RMat m{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}};
+  const RMat inv = m.inverse();
+  EXPECT_EQ(m * inv, RMat::identity(3));
+  EXPECT_EQ(inv * m, RMat::identity(3));
+}
+
+TEST(Matrix, InverseNeedsPivoting) {
+  // Leading zero forces a row swap in Gauss-Jordan.
+  const RMat m{{0, 1}, {1, 0}};
+  EXPECT_EQ(m.inverse(), m);
+}
+
+TEST(Matrix, SingularInverseThrows) {
+  const RMat m{{1, 2}, {2, 4}};
+  EXPECT_THROW(m.inverse(), std::invalid_argument);
+}
+
+TEST(Matrix, VandermondeInverseExact) {
+  // The Cook-Toom core operation: invert a Vandermonde at the default
+  // points {0, 1, -1, 2}. Must be exact.
+  const std::vector<Rational> pts{Rational(0), Rational(1), Rational(-1),
+                                  Rational(2)};
+  RMat v(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      v(i, j) = pts[i].pow(static_cast<int>(j));
+    }
+  }
+  EXPECT_EQ(v * v.inverse(), RMat::identity(4));
+}
+
+TEST(Matrix, MapProjection) {
+  const RMat m{{Rational(1, 2), Rational(3, 4)}};
+  const auto d = m.map<double>([](const Rational& r) { return r.to_double(); });
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.75);
+}
+
+}  // namespace
+}  // namespace wino::common

@@ -1,0 +1,118 @@
+#include "common/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace wino::common {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  const Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, NormalisesOnConstruction) {
+  const Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, NormalisesNegativeDenominator) {
+  const Rational r(3, -6);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), RationalError);
+}
+
+TEST(Rational, ZeroNumeratorCanonical) {
+  const Rational r(0, 17);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, Addition) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) + Rational(-1, 2), Rational(0));
+}
+
+TEST(Rational, Subtraction) {
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+}
+
+TEST(Rational, Multiplication) {
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+}
+
+TEST(Rational, Division) {
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_THROW(Rational(1) / Rational(0), RationalError);
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+}
+
+TEST(Rational, Reciprocal) {
+  EXPECT_EQ(Rational(3, 4).reciprocal(), Rational(4, 3));
+  EXPECT_EQ(Rational(-2).reciprocal(), Rational(-1, 2));
+  EXPECT_THROW(static_cast<void>(Rational(0).reciprocal()), RationalError);
+}
+
+TEST(Rational, Pow) {
+  EXPECT_EQ(Rational(2).pow(10), Rational(1024));
+  EXPECT_EQ(Rational(1, 2).pow(3), Rational(1, 8));
+  EXPECT_EQ(Rational(0).pow(0), Rational(1));  // Vandermonde convention
+  EXPECT_EQ(Rational(-2).pow(3), Rational(-8));
+  EXPECT_THROW(static_cast<void>(Rational(2).pow(-1)), RationalError);
+}
+
+TEST(Rational, Abs) {
+  EXPECT_EQ(Rational(-3, 2).abs(), Rational(3, 2));
+  EXPECT_EQ(Rational(3, 2).abs(), Rational(3, 2));
+}
+
+TEST(Rational, IsPow2Scaled) {
+  EXPECT_TRUE(Rational(2).is_pow2_scaled());
+  EXPECT_TRUE(Rational(1).is_pow2_scaled());
+  EXPECT_TRUE(Rational(-4).is_pow2_scaled());
+  EXPECT_TRUE(Rational(1, 2).is_pow2_scaled());
+  EXPECT_TRUE(Rational(-1, 8).is_pow2_scaled());
+  EXPECT_FALSE(Rational(3).is_pow2_scaled());
+  EXPECT_FALSE(Rational(1, 6).is_pow2_scaled());
+  EXPECT_FALSE(Rational(0).is_pow2_scaled());
+  EXPECT_FALSE(Rational(3, 2).is_pow2_scaled());
+}
+
+TEST(Rational, OverflowDetected) {
+  const Rational big(std::numeric_limits<std::int64_t>::max());
+  EXPECT_THROW(big * big, RationalError);
+  EXPECT_THROW(big + Rational(1), RationalError);
+}
+
+TEST(Rational, LargeIntermediatesThatCancelAreFine) {
+  // (2^40 / 3) * (3 / 2^40) == 1 — intermediates exceed int64 only before
+  // gcd reduction, which the __int128 path must absorb.
+  const Rational a(std::int64_t{1} << 40, 3);
+  const Rational b(3, std::int64_t{1} << 40);
+  EXPECT_EQ(a * b, Rational(1));
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(5).to_string(), "5");
+  EXPECT_EQ(Rational(-1, 2).to_string(), "-1/2");
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+  EXPECT_DOUBLE_EQ(Rational(-3, 2).to_double(), -1.5);
+}
+
+}  // namespace
+}  // namespace wino::common

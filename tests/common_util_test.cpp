@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/random.hpp"
+#include "common/table.hpp"
+
+namespace wino::common {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.header({"a", "long-header", "c"});
+  t.row({"12345", "x", "yy"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  // Header, rule, one row.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
+  // Column 0 width driven by the row value (5 chars + 2 padding).
+  EXPECT_EQ(s.find("long-header"), 7u);
+}
+
+TEST(TextTable, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::num(-1.5, 3), "-1.500");
+}
+
+TEST(TextTable, RowsWithoutHeader) {
+  TextTable t;
+  t.row({"only", "body"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), "only  body  \n");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DefaultSeedIsFixed) {
+  Rng a;
+  Rng b(Rng::kDefaultSeed);
+  EXPECT_EQ(a.uniform_int(0, 1 << 30), b.uniform_int(0, 1 << 30));
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-2.0F, 3.0F);
+    EXPECT_GE(v, -2.0F);
+    EXPECT_LT(v, 3.0F);
+    const auto n = rng.uniform_int(-5, 5);
+    EXPECT_GE(n, -5);
+    EXPECT_LE(n, 5);
+  }
+}
+
+TEST(Rng, FillUniformCoversSpan) {
+  Rng rng(9);
+  std::vector<float> v(64, 99.0F);
+  rng.fill_uniform(v, 0.0F, 1.0F);
+  for (const float x : v) {
+    EXPECT_GE(x, 0.0F);
+    EXPECT_LT(x, 1.0F);
+  }
+}
+
+TEST(Rng, NormalHasRoughMoments) {
+  Rng rng(11);
+  double sum = 0;
+  double sq = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal(1.0F, 2.0F);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+}  // namespace
+}  // namespace wino::common

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "conv/fft.hpp"
+#include "conv/im2col.hpp"
+#include "conv/spatial.hpp"
+
+namespace wino::conv {
+namespace {
+
+using common::Rng;
+using tensor::Tensor4f;
+
+Tensor4f random_tensor(std::size_t n, std::size_t c, std::size_t h,
+                       std::size_t w, Rng& rng) {
+  Tensor4f t(n, c, h, w);
+  rng.fill_uniform(t.flat());
+  return t;
+}
+
+TEST(SpatialConv, HandComputedExample) {
+  // 3x3 image, 2x2 kernel, no padding -> 2x2 output.
+  Tensor4f in(1, 1, 3, 3);
+  float v = 1.0F;
+  for (auto& x : in.flat()) x = v++;  // 1..9
+  Tensor4f k(1, 1, 2, 2);
+  k(0, 0, 0, 0) = 1.0F;
+  k(0, 0, 0, 1) = 2.0F;
+  k(0, 0, 1, 0) = 3.0F;
+  k(0, 0, 1, 1) = 4.0F;
+  const Tensor4f y = conv2d_spatial(in, k);
+  // y(0,0) = 1*1 + 2*2 + 4*3 + 5*4 = 37
+  EXPECT_FLOAT_EQ(y(0, 0, 0, 0), 37.0F);
+  EXPECT_FLOAT_EQ(y(0, 0, 0, 1), 47.0F);
+  EXPECT_FLOAT_EQ(y(0, 0, 1, 0), 67.0F);
+  EXPECT_FLOAT_EQ(y(0, 0, 1, 1), 77.0F);
+}
+
+TEST(SpatialConv, PaddingGrowsOutput) {
+  const Tensor4f in(1, 1, 4, 4, 1.0F);
+  const Tensor4f k(1, 1, 3, 3, 1.0F);
+  const Tensor4f same = conv2d_spatial(in, k, {.pad = 1, .stride = 1});
+  EXPECT_EQ(same.shape().h, 4u);
+  EXPECT_EQ(same.shape().w, 4u);
+  // Interior output: full 9-tap sum; corner: only 4 taps inside.
+  EXPECT_FLOAT_EQ(same(0, 0, 1, 1), 9.0F);
+  EXPECT_FLOAT_EQ(same(0, 0, 0, 0), 4.0F);
+}
+
+TEST(SpatialConv, StrideTwo) {
+  Tensor4f in(1, 1, 5, 5);
+  float v = 0.0F;
+  for (auto& x : in.flat()) x = v++;
+  Tensor4f k(1, 1, 1, 1);
+  k(0, 0, 0, 0) = 1.0F;
+  const Tensor4f y = conv2d_spatial(in, k, {.pad = 0, .stride = 2});
+  EXPECT_EQ(y.shape().h, 3u);
+  EXPECT_FLOAT_EQ(y(0, 0, 1, 1), in(0, 0, 2, 2));
+  EXPECT_FLOAT_EQ(y(0, 0, 2, 2), in(0, 0, 4, 4));
+}
+
+TEST(SpatialConv, OutExtentFormula) {
+  EXPECT_EQ(conv_out_extent(224, 3, 1, 1), 224u);
+  EXPECT_EQ(conv_out_extent(224, 3, 0, 1), 222u);
+  EXPECT_EQ(conv_out_extent(5, 3, 0, 2), 2u);
+  EXPECT_THROW(conv_out_extent(2, 5, 0, 1), std::invalid_argument);
+  EXPECT_THROW(conv_out_extent(8, 3, 0, 0), std::invalid_argument);
+}
+
+TEST(Im2colConv, MatchesSpatial) {
+  Rng rng(11);
+  const Tensor4f in = random_tensor(2, 3, 9, 7, rng);
+  const Tensor4f k = random_tensor(4, 3, 3, 3, rng);
+  for (const int pad : {0, 1}) {
+    const SpatialConvOptions opt{.pad = pad, .stride = 1};
+    const Tensor4f a = conv2d_spatial(in, k, opt);
+    const Tensor4f b = conv2d_im2col(in, k, opt);
+    ASSERT_EQ(a.shape(), b.shape());
+    EXPECT_LE(tensor::max_abs_diff(a, b), 1e-4F);
+  }
+}
+
+TEST(Im2colConv, StridedMatchesSpatial) {
+  Rng rng(12);
+  const Tensor4f in = random_tensor(1, 2, 11, 11, rng);
+  const Tensor4f k = random_tensor(3, 2, 3, 3, rng);
+  const SpatialConvOptions opt{.pad = 1, .stride = 2};
+  EXPECT_LE(tensor::max_abs_diff(conv2d_spatial(in, k, opt),
+                                 conv2d_im2col(in, k, opt)),
+            1e-4F);
+}
+
+TEST(Gemm, SmallExact) {
+  const std::vector<float> a{1, 2, 3, 4};        // 2x2
+  const std::vector<float> b{5, 6, 7, 8};        // 2x2
+  std::vector<float> c(4);
+  gemm(a, b, c, 2, 2, 2);
+  EXPECT_FLOAT_EQ(c[0], 19.0F);
+  EXPECT_FLOAT_EQ(c[1], 22.0F);
+  EXPECT_FLOAT_EQ(c[2], 43.0F);
+  EXPECT_FLOAT_EQ(c[3], 50.0F);
+}
+
+TEST(Gemm, SizeMismatchThrows) {
+  std::vector<float> a(4), b(4), c(3);
+  EXPECT_THROW(gemm(a, b, c, 2, 2, 2), std::invalid_argument);
+}
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  Rng rng(5);
+  std::vector<std::complex<double>> data(64);
+  for (auto& x : data) x = {rng.uniform(), rng.uniform()};
+  auto copy = data;
+  fft_pow2(copy, false);
+  fft_pow2(copy, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(copy[i].real(), data[i].real(), 1e-12);
+    EXPECT_NEAR(copy[i].imag(), data[i].imag(), 1e-12);
+  }
+}
+
+TEST(Fft, MatchesNaiveDft) {
+  Rng rng(6);
+  const std::size_t n = 16;
+  std::vector<std::complex<double>> data(n);
+  for (auto& x : data) x = {rng.uniform(), rng.uniform()};
+  auto fast = data;
+  fft_pow2(fast, false);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> want{};
+    for (std::size_t t = 0; t < n; ++t) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(k * t) /
+                         static_cast<double>(n);
+      want += data[t] * std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+    EXPECT_NEAR(fast[k].real(), want.real(), 1e-9);
+    EXPECT_NEAR(fast[k].imag(), want.imag(), 1e-9);
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(12);
+  EXPECT_THROW(fft_pow2(data, false), std::invalid_argument);
+}
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(17), 32u);
+  EXPECT_EQ(next_pow2(226), 256u);
+}
+
+TEST(FftConv, MatchesSpatial) {
+  Rng rng(21);
+  const Tensor4f in = random_tensor(1, 3, 10, 10, rng);
+  const Tensor4f k = random_tensor(2, 3, 3, 3, rng);
+  for (const int pad : {0, 1}) {
+    const SpatialConvOptions opt{.pad = pad, .stride = 1};
+    const Tensor4f a = conv2d_spatial(in, k, opt);
+    const Tensor4f b = conv2d_fft(in, k, opt);
+    ASSERT_EQ(a.shape(), b.shape());
+    EXPECT_LE(tensor::max_abs_diff(a, b), 1e-4F);
+  }
+}
+
+TEST(FftConv, LargeKernelMatchesSpatial) {
+  // FFT's favourable regime per the paper's related-work discussion.
+  Rng rng(22);
+  const Tensor4f in = random_tensor(1, 1, 16, 16, rng);
+  const Tensor4f k = random_tensor(1, 1, 7, 7, rng);
+  const SpatialConvOptions opt{.pad = 3, .stride = 1};
+  EXPECT_LE(tensor::max_abs_diff(conv2d_spatial(in, k, opt),
+                                 conv2d_fft(in, k, opt)),
+            1e-4F);
+}
+
+TEST(FftConv, BatchAndMultiKernel) {
+  Rng rng(23);
+  const Tensor4f in = random_tensor(2, 2, 8, 8, rng);
+  const Tensor4f k = random_tensor(3, 2, 3, 3, rng);
+  const SpatialConvOptions opt{.pad = 1, .stride = 1};
+  EXPECT_LE(tensor::max_abs_diff(conv2d_spatial(in, k, opt),
+                                 conv2d_fft(in, k, opt)),
+            1e-4F);
+}
+
+}  // namespace
+}  // namespace wino::conv

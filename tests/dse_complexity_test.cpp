@@ -1,0 +1,148 @@
+// Validates the Section III complexity models against the paper's published
+// numbers (Fig 1 values, Section IV-C ratios) and their structural
+// properties.
+#include "dse/complexity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/network.hpp"
+
+namespace wino::dse {
+namespace {
+
+// Fig 1 of the paper: multiplications (x 10^9) per VGG16-D group for
+// spatial convolution and F(m x m, 3 x 3), m = 2..7. Values transcribed
+// from the figure's data labels.
+struct Fig1Row {
+  int m;
+  double conv[5];
+};
+constexpr Fig1Row kFig1[] = {
+    {1, {1.936, 2.775, 4.624, 4.624, 1.387}},
+    {2, {0.861, 1.233, 2.055, 2.055, 0.617}},
+    {3, {0.598, 0.857, 1.428, 1.428, 0.429}},
+    {4, {0.484, 0.694, 1.156, 1.156, 0.347}},
+    {5, {0.422, 0.604, 1.007, 1.007, 0.302}},
+    {6, {0.383, 0.549, 0.915, 0.915, 0.274}},
+    {7, {0.356, 0.510, 0.849, 0.849, 0.255}},
+};
+
+class Fig1MultComplexity : public ::testing::TestWithParam<Fig1Row> {};
+
+TEST_P(Fig1MultComplexity, MatchesPaperValues) {
+  const auto& row = GetParam();
+  const auto& net = nn::vgg16_d();
+  for (std::size_t g = 0; g < 5; ++g) {
+    const double got =
+        static_cast<double>(mult_complexity(net.groups[g], row.m)) / 1e9;
+    EXPECT_NEAR(got, row.conv[g], 0.002)
+        << "m=" << row.m << " group=" << net.groups[g].name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, Fig1MultComplexity,
+                         ::testing::ValuesIn(kFig1),
+                         [](const auto& info) {
+                           std::string n = "m";
+                           n += std::to_string(info.param.m);
+                           return n;
+                         });
+
+TEST(MultComplexity, SpatialEqualsLayerFormula) {
+  for (const auto& l : nn::vgg16_d().all_layers()) {
+    EXPECT_EQ(mult_complexity(l, 1), l.spatial_mults());
+  }
+}
+
+TEST(MultComplexity, DecreasesMonotonicallyWithM) {
+  const auto& net = nn::vgg16_d();
+  std::size_t prev = mult_complexity(net, 1);
+  for (int m = 2; m <= 8; ++m) {
+    const std::size_t cur = mult_complexity(net, m);
+    EXPECT_LT(cur, prev) << "m=" << m;
+    prev = cur;
+  }
+}
+
+TEST(MultComplexity, RejectsBadM) {
+  EXPECT_THROW(mult_complexity(nn::vgg16_d().all_layers()[0], 0),
+               std::invalid_argument);
+}
+
+TEST(TransformCosts, GeneratedF23MatchesLavinBetaDelta) {
+  const TransformCosts c = TransformCosts::from_generated(2, 3);
+  EXPECT_EQ(c.beta, 32u);
+  EXPECT_EQ(c.delta, 24u);
+}
+
+TEST(TransformComplexity, Eq5Structure) {
+  // T(D) must not depend on K, T(I) not on C, T(F) not on H*W.
+  nn::ConvLayerSpec a;
+  a.h = a.w = 28;
+  a.c = 16;
+  a.k = 32;
+  a.r = 3;
+  a.pad = 1;
+  nn::ConvLayerSpec b = a;
+  b.k = 64;
+  const TransformCosts costs = TransformCosts::lavin_f2x2_3x3();
+  const auto ta = transform_complexity(a, 2, costs);
+  const auto tb = transform_complexity(b, 2, costs);
+  EXPECT_DOUBLE_EQ(ta.data, tb.data);        // K changed: T(D) invariant
+  EXPECT_DOUBLE_EQ(tb.inverse, 2 * ta.inverse);  // T(I) linear in K
+  EXPECT_DOUBLE_EQ(tb.filter, 2 * ta.filter);    // T(F) linear in K
+}
+
+TEST(TransformComplexity, GrowsWithM) {
+  // The paper's Fig 2: net transform complexity increases with m.
+  const auto& net = nn::vgg16_d();
+  double prev = 0;
+  for (int m = 2; m <= 7; ++m) {
+    const auto costs = TransformCosts::from_generated(m, 3);
+    const double total = transform_complexity(net, m, costs).total();
+    EXPECT_GT(total, prev) << "m=" << m;
+    prev = total;
+  }
+}
+
+TEST(ImplementationComplexity, SharedTransformAmortises) {
+  // Eq 7: more PEs amortise the data transform; delta dominates as
+  // P -> infinity.
+  const auto& net = nn::vgg16_d();
+  const TransformCosts costs = TransformCosts::lavin_f2x2_3x3();
+  const double p1 = implementation_transform_complexity(net, 2, costs, 1);
+  const double p16 = implementation_transform_complexity(net, 2, costs, 16);
+  const double p64 = implementation_transform_complexity(net, 2, costs, 64);
+  EXPECT_GT(p1, p16);
+  EXPECT_GT(p16, p64);
+  EXPECT_DOUBLE_EQ(p1, reference_transform_complexity(net, 2, costs));
+}
+
+TEST(ImplementationComplexity, RejectsZeroPes) {
+  EXPECT_THROW(implementation_transform_complexity(
+                   nn::vgg16_d(), 2, TransformCosts::lavin_f2x2_3x3(), 0),
+               std::invalid_argument);
+}
+
+TEST(OverheadRatio, ReproducesSection4CNumbers) {
+  // Paper Section IV-C: "for F(2x2, 3x3) using 16 parallel PEs, the
+  // increase in transform complexity of our design relative to spatial
+  // convolutions is only 1.5x while for the state-of-the-art design [3],
+  // this increase is 2.33x."
+  const TransformCosts lavin = TransformCosts::lavin_f2x2_3x3();
+  EXPECT_NEAR(transform_overhead_ratio(2, 3, lavin, 16, true), 1.5, 1e-9);
+  EXPECT_NEAR(transform_overhead_ratio(2, 3, lavin, 16, false), 2.3333,
+              1e-3);
+}
+
+TEST(OverheadRatio, SharedAlwaysCheaper) {
+  for (int m = 2; m <= 6; ++m) {
+    const auto costs = TransformCosts::from_generated(m, 3);
+    EXPECT_LT(transform_overhead_ratio(m, 3, costs, 8, true),
+              transform_overhead_ratio(m, 3, costs, 8, false))
+        << "m=" << m;
+  }
+}
+
+}  // namespace
+}  // namespace wino::dse

@@ -1,0 +1,135 @@
+#include "dse/design_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dse/roofline.hpp"
+#include "nn/network.hpp"
+
+namespace wino::dse {
+namespace {
+
+class DesignSpaceFixture : public ::testing::Test {
+ protected:
+  DesignSpaceExplorer explorer_{nn::vgg16_d(), fpga::virtex7_485t()};
+};
+
+TEST_F(DesignSpaceFixture, EvaluateOursM4MatchesTable2) {
+  DesignPoint p;
+  p.m = 4;
+  const DesignEvaluation ev = explorer_.evaluate(p);
+  EXPECT_EQ(ev.parallel_pes, 19u);
+  EXPECT_EQ(ev.multipliers, 684u);
+  EXPECT_NEAR(ev.total_latency_s * 1e3, 28.05, 0.05);
+  EXPECT_NEAR(ev.throughput_ops / 1e9, 1094.3, 1.0);
+  EXPECT_NEAR(ev.mult_efficiency / 1e9, 1.60, 0.01);
+  EXPECT_EQ(ev.resources.luts, 107839u);
+}
+
+TEST_F(DesignSpaceFixture, EvaluateFitsPesWhenUnspecified) {
+  DesignPoint p;
+  p.m = 2;
+  const DesignEvaluation ev = explorer_.evaluate(p);
+  EXPECT_EQ(ev.parallel_pes, 43u);
+  EXPECT_EQ(ev.multipliers, 688u);
+}
+
+TEST_F(DesignSpaceFixture, ExplicitPesRespected) {
+  DesignPoint p;
+  p.m = 2;
+  p.parallel_pes = 16;
+  const DesignEvaluation ev = explorer_.evaluate(p);
+  EXPECT_EQ(ev.multipliers, 256u);
+  EXPECT_NEAR(ev.total_latency_s * 1e3, 133.22, 0.1);  // [3] row
+}
+
+TEST_F(DesignSpaceFixture, SweepCoversRequestedRange) {
+  const auto evals = explorer_.sweep_m(2, 6);
+  EXPECT_EQ(evals.size(), 5u);
+  // Throughput grows with m across the paper's studied range.
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_GT(evals[i].throughput_ops, evals[i - 1].throughput_ops);
+  }
+}
+
+TEST_F(DesignSpaceFixture, GroupLatenciesSumToTotal) {
+  DesignPoint p;
+  p.m = 3;
+  const DesignEvaluation ev = explorer_.evaluate(p);
+  ASSERT_EQ(ev.group_latency_s.size(), 5u);
+  double sum = 0;
+  for (const double g : ev.group_latency_s) sum += g;
+  EXPECT_NEAR(sum, ev.total_latency_s, 1e-12);
+}
+
+TEST_F(DesignSpaceFixture, ParetoFrontNonDominated) {
+  const auto evals = explorer_.sweep_m(2, 6);
+  const auto front = DesignSpaceExplorer::pareto_front(evals);
+  ASSERT_FALSE(front.empty());
+  for (const auto& f : front) {
+    for (const auto& e : evals) {
+      const bool dominates = e.throughput_ops > f.throughput_ops &&
+                             e.power_efficiency > f.power_efficiency;
+      EXPECT_FALSE(dominates);
+    }
+  }
+  // The m=4 design has the highest throughput; it must be on the front.
+  const auto max_tp = std::max_element(
+      evals.begin(), evals.end(), [](const auto& a, const auto& b) {
+        return a.throughput_ops < b.throughput_ops;
+      });
+  EXPECT_TRUE(std::any_of(front.begin(), front.end(), [&](const auto& f) {
+    return f.point.m == max_tp->point.m;
+  }));
+}
+
+TEST_F(DesignSpaceFixture, RejectsUnfittableDesign) {
+  DesignPoint p;
+  p.m = 40;  // tile 42^2 = 1764 multipliers per PE > device budget
+  EXPECT_THROW(explorer_.evaluate(p), std::invalid_argument);
+}
+
+TEST(Roofline, ComputeBoundAtHighBandwidth) {
+  const auto layer = nn::vgg16_d().all_layers()[1];  // conv1_2
+  const RooflinePoint p =
+      roofline(layer, 2, 3, 43, 200e6, /*dram=*/1e12);
+  EXPECT_FALSE(p.memory_bound);
+  EXPECT_DOUBLE_EQ(p.attainable, p.compute_roof);
+}
+
+TEST(Roofline, MemoryBoundAtLowBandwidth) {
+  const auto layer = nn::vgg16_d().all_layers()[1];
+  const RooflinePoint p = roofline(layer, 2, 3, 43, 200e6, /*dram=*/1e6);
+  EXPECT_TRUE(p.memory_bound);
+  EXPECT_DOUBLE_EQ(p.attainable, p.memory_roof);
+  EXPECT_LT(p.attainable, p.compute_roof);
+}
+
+TEST(Roofline, RequiredBandwidthIsCrossover) {
+  const auto layer = nn::vgg16_d().all_layers()[5];
+  const double bw = required_bandwidth(layer, 3, 3, 28, 200e6);
+  const RooflinePoint at = roofline(layer, 3, 3, 28, 200e6, bw * 1.001);
+  const RooflinePoint below = roofline(layer, 3, 3, 28, 200e6, bw * 0.999);
+  EXPECT_FALSE(at.memory_bound);
+  EXPECT_TRUE(below.memory_bound);
+}
+
+TEST(Roofline, FirstLayerHasHighestIntensityPressure) {
+  // conv1_1 has only 3 input channels: few ops per byte of input traffic,
+  // so it needs disproportionate bandwidth — the known Winograd corner.
+  const auto layers = nn::vgg16_d().all_layers();
+  const double ai_first = arithmetic_intensity(layers[0], 4);
+  const double ai_mid = arithmetic_intensity(layers[6], 4);
+  EXPECT_LT(ai_first, ai_mid);
+}
+
+TEST(Roofline, TrafficComponentsPositive) {
+  const auto layer = nn::vgg16_d().all_layers()[3];
+  const TrafficModel t = layer_traffic(layer, 3);
+  EXPECT_GT(t.bytes_in, 0.0);
+  EXPECT_GT(t.bytes_kernels, 0.0);
+  EXPECT_GT(t.bytes_out, 0.0);
+  EXPECT_DOUBLE_EQ(t.total(), t.bytes_in + t.bytes_kernels + t.bytes_out);
+}
+
+}  // namespace
+}  // namespace wino::dse

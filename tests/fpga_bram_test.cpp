@@ -1,0 +1,74 @@
+#include "fpga/bram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/network.hpp"
+
+namespace wino::fpga {
+namespace {
+
+nn::ConvLayerSpec layer(std::size_t hw, std::size_t c, std::size_t k) {
+  nn::ConvLayerSpec l;
+  l.h = l.w = hw;
+  l.c = c;
+  l.k = k;
+  l.r = 3;
+  l.pad = 1;
+  return l;
+}
+
+TEST(Bram, BufferSizesFollowGeometry) {
+  const auto b = buffer_requirements(4, 3, 19, layer(14, 512, 512));
+  // Image window: 6 rows x 14 x 512 x 4 B.
+  EXPECT_EQ(b.image_bytes, 6u * 14u * 512u * 4u);
+  // Kernel banks: 2 x 19 x 512 x 36 x 4 B.
+  EXPECT_EQ(b.kernel_bytes, 2u * 19u * 512u * 36u * 4u);
+  // Accumulators: 2 x 19 x 16 x 4 B.
+  EXPECT_EQ(b.accum_bytes, 2u * 19u * 16u * 4u);
+}
+
+TEST(Bram, KernelBuffersDominateDeepLayers) {
+  const auto b = buffer_requirements(4, 3, 19, layer(14, 512, 512));
+  EXPECT_GT(b.kernel_bytes, b.image_bytes);
+  EXPECT_GT(b.kernel_bytes, b.accum_bytes);
+}
+
+TEST(Bram, ImageBufferDominatesWideShallowLayers) {
+  // conv1_1: 224 wide, only 3 channels.
+  const auto b = buffer_requirements(4, 3, 19, layer(224, 3, 64));
+  EXPECT_GT(b.image_bytes, b.accum_bytes);
+}
+
+TEST(Bram, Bram36Blocks) {
+  EXPECT_EQ(bram36_blocks(0), 0u);
+  EXPECT_EQ(bram36_blocks(1), 1u);
+  EXPECT_EQ(bram36_blocks(4608), 1u);   // exactly one 36 Kb block
+  EXPECT_EQ(bram36_blocks(4609), 2u);
+}
+
+TEST(Bram, PaperDesignsFitVirtex7) {
+  // The paper's three proposed configurations must be BRAM-feasible on
+  // the target device, worst VGG16-D layer included.
+  const auto& net = nn::vgg16_d();
+  EXPECT_TRUE(buffers_fit(virtex7_485t(), 2, 3, 43, net));
+  EXPECT_TRUE(buffers_fit(virtex7_485t(), 3, 3, 28, net));
+  EXPECT_TRUE(buffers_fit(virtex7_485t(), 4, 3, 19, net));
+}
+
+TEST(Bram, TinyDeviceDoesNotFit) {
+  FpgaDevice tiny = virtex7_485t();
+  tiny.bram_kb = 128;  // 16 KiB of BRAM
+  EXPECT_FALSE(buffers_fit(tiny, 4, 3, 19, nn::vgg16_d()));
+}
+
+TEST(Bram, WorstLayerIsDeepConv) {
+  // For the m=4 design the worst buffer demand comes from a 512-channel
+  // layer (kernel banks scale with C and P).
+  const auto& net = nn::vgg16_d();
+  const auto worst = worst_buffer_requirements(4, 3, 19, net);
+  const auto conv5 = buffer_requirements(4, 3, 19, layer(14, 512, 512));
+  EXPECT_GE(worst.total(), conv5.total());
+}
+
+}  // namespace
+}  // namespace wino::fpga

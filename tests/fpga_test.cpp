@@ -1,0 +1,178 @@
+// Validates the resource estimator against the paper's Table I (exactly)
+// and the power model's calibration quality and monotonicity.
+#include <gtest/gtest.h>
+
+#include "fpga/device.hpp"
+#include "fpga/power.hpp"
+#include "fpga/resources.hpp"
+
+namespace wino::fpga {
+namespace {
+
+TEST(Device, Virtex7MatchesTable1AvailableRow) {
+  const FpgaDevice& d = virtex7_485t();
+  EXPECT_EQ(d.luts, 303600u);
+  EXPECT_EQ(d.registers, 607200u);
+  EXPECT_EQ(d.dsps, 2800u);
+  EXPECT_EQ(d.fp32_multipliers(), 700u);
+}
+
+TEST(ResourceEstimator, Table1OursExact) {
+  const ResourceEstimator est;
+  const ResourceReport r =
+      est.estimate(4, 3, 19, EngineStyle::kSharedDataTransform);
+  EXPECT_EQ(r.luts, 107839u);
+  EXPECT_EQ(r.registers, 76500u);
+  EXPECT_EQ(r.dsps, 2736u);
+  EXPECT_EQ(r.fp32_multipliers, 684u);
+}
+
+TEST(ResourceEstimator, Table1ReferenceExact) {
+  const ResourceEstimator est;
+  const ResourceReport r =
+      est.estimate(4, 3, 19, EngineStyle::kPerPeDataTransform);
+  EXPECT_EQ(r.luts, 232256u);
+  EXPECT_EQ(r.registers, 97052u);
+  EXPECT_EQ(r.dsps, 2736u);
+}
+
+TEST(ResourceEstimator, LutSavingsAbout53Percent) {
+  // The paper's headline: "53.6% logic resource reduction".
+  const ResourceEstimator est;
+  const auto ours = est.estimate(4, 3, 19, EngineStyle::kSharedDataTransform);
+  const auto ref = est.estimate(4, 3, 19, EngineStyle::kPerPeDataTransform);
+  const double saving =
+      1.0 - static_cast<double>(ours.luts) / static_cast<double>(ref.luts);
+  EXPECT_NEAR(saving, 0.536, 0.002);
+}
+
+TEST(ResourceEstimator, PerPeMarginalCostsMatchPaperText) {
+  // "increases by about 12224 LUTs per PE ... our implementation ... about
+  // 5312 LUTs per PE" (Section V-A).
+  const ResourceEstimator est;
+  const auto ours = est.estimate(4, 3, 19, EngineStyle::kSharedDataTransform);
+  const auto ref = est.estimate(4, 3, 19, EngineStyle::kPerPeDataTransform);
+  EXPECT_NEAR(static_cast<double>(ours.luts_per_pe), 5312.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(ref.luts_per_pe), 12224.0, 1.0);
+}
+
+TEST(ResourceEstimator, MaxPesMatchesTable2) {
+  const ResourceEstimator est;
+  EXPECT_EQ(est.max_pes(2, 3, EngineStyle::kSharedDataTransform), 43u);
+  EXPECT_EQ(est.max_pes(3, 3, EngineStyle::kSharedDataTransform), 28u);
+  EXPECT_EQ(est.max_pes(4, 3, EngineStyle::kSharedDataTransform), 19u);
+}
+
+TEST(ResourceEstimator, SharedStyleNeverWorse) {
+  const ResourceEstimator est;
+  for (int m = 2; m <= 6; ++m) {
+    for (const std::size_t pes : {1u, 4u, 16u}) {
+      const auto shared =
+          est.estimate(m, 3, pes, EngineStyle::kSharedDataTransform);
+      const auto per_pe =
+          est.estimate(m, 3, pes, EngineStyle::kPerPeDataTransform);
+      EXPECT_LE(shared.luts, per_pe.luts) << "m=" << m << " P=" << pes;
+      EXPECT_EQ(shared.dsps, per_pe.dsps);
+    }
+  }
+}
+
+TEST(ResourceEstimator, SavingsGrowWithPes) {
+  // "higher savings in slice logic utilisation for high number of parallel
+  // PEs" — the shared block amortises.
+  const ResourceEstimator est;
+  double prev = 0;
+  for (const std::size_t pes : {2u, 8u, 19u}) {
+    const auto ours =
+        est.estimate(4, 3, pes, EngineStyle::kSharedDataTransform);
+    const auto ref =
+        est.estimate(4, 3, pes, EngineStyle::kPerPeDataTransform);
+    const double saving =
+        1.0 - static_cast<double>(ours.luts) / static_cast<double>(ref.luts);
+    EXPECT_GT(saving, prev);
+    prev = saving;
+  }
+}
+
+TEST(ResourceEstimator, ScalesLinearlyInPes) {
+  const ResourceEstimator est;
+  const auto one = est.estimate(3, 3, 1, EngineStyle::kSharedDataTransform);
+  const auto ten = est.estimate(3, 3, 10, EngineStyle::kSharedDataTransform);
+  EXPECT_EQ(ten.dsps, 10 * one.dsps);
+  // LUTs: fixed shared block + linear per-PE part.
+  const std::size_t shared = one.luts - one.luts_per_pe;
+  EXPECT_NEAR(static_cast<double>(ten.luts),
+              static_cast<double>(shared + 10 * one.luts_per_pe), 5.0);
+}
+
+TEST(ResourceEstimator, RejectsZeroPes) {
+  const ResourceEstimator est;
+  EXPECT_THROW(
+      static_cast<void>(est.estimate(2, 3, 0,
+                                     EngineStyle::kSharedDataTransform)),
+      std::invalid_argument);
+}
+
+TEST(PowerModel, CalibrationErrorBounded) {
+  const ResourceEstimator est;
+  const PowerModel pm(est);
+  // Documented model fidelity: within 30% on every calibrated design point
+  // (see EXPERIMENTS.md for the per-point numbers).
+  EXPECT_LE(pm.max_calibration_rel_error(), 0.30);
+}
+
+TEST(PowerModel, CoefficientsNonNegative) {
+  const ResourceEstimator est;
+  const PowerModel pm(est);
+  for (const double c : pm.coefficients()) EXPECT_GE(c, 0.0);
+}
+
+TEST(PowerModel, MonotoneInUtilisation) {
+  const ResourceEstimator est;
+  const PowerModel pm(est);
+  double prev = 0;
+  for (const std::size_t pes : {5u, 10u, 15u, 19u}) {
+    const double w = pm.predict_w(
+        est.estimate(4, 3, pes, EngineStyle::kSharedDataTransform));
+    EXPECT_GT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(PowerModel, PreservesPaperPowerOrdering) {
+  // Published: ours m=2 (13.03) < ours m=3 (23.96) < ours m=4 (36.32).
+  const ResourceEstimator est;
+  const PowerModel pm(est);
+  const double w2 = pm.predict_w(
+      est.estimate(2, 3, 43, EngineStyle::kSharedDataTransform));
+  const double w3 = pm.predict_w(
+      est.estimate(3, 3, 28, EngineStyle::kSharedDataTransform));
+  const double w4 = pm.predict_w(
+      est.estimate(4, 3, 19, EngineStyle::kSharedDataTransform));
+  EXPECT_LT(w2, w3);
+  EXPECT_LT(w3, w4);
+}
+
+TEST(PowerModel, FrequencyScalesDynamicOnly) {
+  const ResourceEstimator est;
+  const PowerModel pm(est);
+  const auto r = est.estimate(3, 3, 10, EngineStyle::kSharedDataTransform);
+  const double at200 = pm.predict_w(r, 200e6);
+  const double at100 = pm.predict_w(r, 100e6);
+  const double static_w = pm.coefficients()[0];
+  EXPECT_NEAR(at100 - static_w, (at200 - static_w) / 2, 1e-9);
+}
+
+TEST(PowerModel, ScaledReferenceRule) {
+  // [3]a power in Table II: 8.04 W * 688 / 256 = 21.61 W.
+  EXPECT_NEAR(scaled_reference_power_w(688), 21.61, 0.01);
+  EXPECT_NEAR(scaled_reference_power_w(256), 8.04, 1e-9);
+}
+
+TEST(PowerModel, RejectsTooFewSamples) {
+  EXPECT_THROW(PowerModel(std::vector<PowerSample>(2)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wino::fpga

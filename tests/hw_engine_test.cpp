@@ -1,0 +1,279 @@
+// The cycle-level engine simulator: functional correctness against spatial
+// convolution, and cycle accounting against the paper's Eq 9.
+#include "hw/winograd_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "conv/spatial.hpp"
+#include "dse/performance.hpp"
+
+namespace wino::hw {
+namespace {
+
+using common::Rng;
+using tensor::Tensor4f;
+
+Tensor4f random_tensor(std::size_t n, std::size_t c, std::size_t h,
+                       std::size_t w, Rng& rng) {
+  Tensor4f t(n, c, h, w);
+  rng.fill_uniform(t.flat());
+  return t;
+}
+
+EngineConfig small_engine(int m, std::size_t pes) {
+  EngineConfig c;
+  c.m = m;
+  c.r = 3;
+  c.parallel_pes = pes;
+  return c.resolved();
+}
+
+struct HwCase {
+  int m;
+  std::size_t pes;
+  std::size_t h, w, c, k;
+  int pad;
+};
+
+class EngineFunctional : public ::testing::TestWithParam<HwCase> {};
+
+TEST_P(EngineFunctional, OutputMatchesSpatialConvolution) {
+  const auto p = GetParam();
+  Rng rng(p.m * 31 + p.k);
+  const Tensor4f input = random_tensor(1, p.c, p.h, p.w, rng);
+  const Tensor4f kernels = random_tensor(p.k, p.c, 3, 3, rng);
+
+  const WinogradEngine engine(small_engine(p.m, p.pes));
+  const SimResult sim = engine.run_layer(input, kernels, p.pad);
+  const Tensor4f ref =
+      conv::conv2d_spatial(input, kernels, {.pad = p.pad, .stride = 1});
+
+  ASSERT_EQ(sim.output.shape(), ref.shape());
+  const float scale = std::max(1.0F, tensor::max_abs(ref));
+  EXPECT_LE(tensor::max_abs_diff(sim.output, ref) / scale, 5e-4F);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EngineFunctional,
+    ::testing::Values(
+        HwCase{2, 2, 8, 8, 3, 4, 1},    // K multiple of P
+        HwCase{2, 3, 8, 8, 2, 7, 1},    // partial last group
+        HwCase{3, 4, 9, 9, 3, 4, 1},    // m=3 exact tiling
+        HwCase{3, 2, 10, 7, 2, 5, 1},   // ragged tiles + partial group
+        HwCase{4, 4, 8, 8, 4, 8, 1},    // m=4
+        HwCase{4, 1, 6, 10, 2, 3, 0},   // single PE, no padding
+        HwCase{2, 8, 12, 12, 1, 2, 1}), // more PEs than kernels
+    [](const auto& info) {
+      const auto& p = info.param;
+      return "m" + std::to_string(p.m) + "p" + std::to_string(p.pes) + "_h" +
+             std::to_string(p.h) + "w" + std::to_string(p.w) + "c" +
+             std::to_string(p.c) + "k" + std::to_string(p.k) + "pad" +
+             std::to_string(p.pad);
+    });
+
+TEST(EngineTiming, MatchesEq9WhenDivisible) {
+  // H = W = 8, m = 2, C = 4, K = 8, P = 4:
+  // Eq 9 cycles = NHWCK/(m^2 P) + Dp - 1 = 8*8*4*8/(4*4) + Dp - 1.
+  const EngineConfig cfg = small_engine(2, 4);
+  const WinogradEngine engine(cfg);
+  nn::ConvLayerSpec layer;
+  layer.h = layer.w = 8;
+  layer.c = 4;
+  layer.k = 8;
+  layer.r = 3;
+  layer.pad = 1;
+  const SimStats s = engine.run_layer_timing(layer);
+  const std::uint64_t eq9_issue = 8 * 8 * 4 * 8 / (4 * 4);
+  EXPECT_EQ(s.issue_cycles, eq9_issue);
+  EXPECT_EQ(s.stall_cycles, 0u);
+  EXPECT_EQ(s.total_cycles, eq9_issue + cfg.pipeline_depth() - 1);
+}
+
+TEST(EngineTiming, VggTotalCyclesMatchAnalyticModel) {
+  // Whole-VGG timing-only simulation must agree with the Eq 9 analytic
+  // latency model (both at ample bandwidth): issue cycles identical,
+  // pipeline fill once per layer.
+  for (const auto& [m, pes] : {std::pair{2, 43u}, {3, 28u}, {4, 19u}}) {
+    EngineConfig cfg = small_engine(m, pes);
+    const WinogradEngine engine(cfg);
+    const auto& net = nn::vgg16_d();
+    const SimStats s = engine.run_workload_timing(net);
+
+    double analytic_cycles = 0;
+    for (const auto& l : net.all_layers()) {
+      analytic_cycles += dse::layer_cycles(l, m, pes);
+    }
+    // Simulated issue cycles >= analytic: the simulator pays for edge
+    // tiles (224/3 does not divide) and partial kernel groups (VGG's K of
+    // 64..512 is never a multiple of P = 28) that Eq 9's continuous model
+    // ignores. Measured overheads: ~4% (m=2, P=43), ~18% (m=3, P=28),
+    // ~7% (m=4, P=19) — recorded in EXPERIMENTS.md as a deviation of the
+    // paper's analytic latency from a cycle-exact execution.
+    EXPECT_GE(static_cast<double>(s.issue_cycles), analytic_cycles * 0.999);
+    EXPECT_LE(static_cast<double>(s.issue_cycles), analytic_cycles * 1.20)
+        << "m=" << m;
+    EXPECT_EQ(s.pipeline_fill, 13 * (cfg.pipeline_depth() - 1));
+  }
+}
+
+TEST(EngineTiming, Table2LatencyReproducedBySimulator) {
+  // m = 2, P = 43 on VGG16-D: paper reports 49.57 ms; the simulator's
+  // exact tiling (224/2 divides) reproduces it.
+  const WinogradEngine engine(small_engine(2, 43));
+  const SimStats s = engine.run_workload_timing(nn::vgg16_d());
+  // 688 multipliers is not 43 whole kernel groups everywhere: K of 64..512
+  // is not divisible by 43, so the simulator charges idle PE slots that
+  // Eq 9's continuous model ignores. Check the Eq-9-comparable bound.
+  const double ms = s.latency_s(200e6) * 1e3;
+  EXPECT_GT(ms, 49.0);
+  EXPECT_LT(ms, 54.0);
+}
+
+TEST(EngineTiming, PartialGroupsWastePes) {
+  nn::ConvLayerSpec layer;
+  layer.h = layer.w = 8;
+  layer.c = 2;
+  layer.k = 5;  // P = 4 -> 2 groups, 3 idle PEs in the second
+  layer.r = 3;
+  layer.pad = 1;
+  const WinogradEngine engine(small_engine(2, 4));
+  const SimStats s = engine.run_layer_timing(layer);
+  EXPECT_EQ(s.kernel_groups, 2u);
+  EXPECT_EQ(s.wasted_pe_slots, 3u * s.tiles * 2u);
+  EXPECT_NEAR(s.pe_utilization, 5.0 / 8.0, 1e-12);
+}
+
+TEST(EngineTiming, BandwidthStallsAppearWhenStarved) {
+  nn::ConvLayerSpec layer;
+  layer.h = layer.w = 32;
+  layer.c = 8;
+  layer.k = 8;
+  layer.r = 3;
+  layer.pad = 1;
+  EngineConfig cfg = small_engine(2, 8);
+  cfg.dram_bytes_per_cycle = 1e18;
+  const SimStats ample = WinogradEngine(cfg).run_layer_timing(layer);
+  EXPECT_EQ(ample.stall_cycles, 0u);
+
+  cfg.dram_bytes_per_cycle = 1.0;  // 1 byte/cycle: severely starved
+  const SimStats starved = WinogradEngine(cfg).run_layer_timing(layer);
+  EXPECT_GT(starved.stall_cycles, 0u);
+  EXPECT_GT(starved.total_cycles, ample.total_cycles);
+}
+
+TEST(EngineTiming, DoubleBufferingHidesRefills) {
+  nn::ConvLayerSpec layer;
+  layer.h = layer.w = 32;
+  layer.c = 8;
+  layer.k = 16;
+  layer.r = 3;
+  layer.pad = 1;
+  EngineConfig cfg = small_engine(2, 8);
+  cfg.dram_bytes_per_cycle = 64.0;
+  cfg.double_buffering = true;
+  const SimStats with_db = WinogradEngine(cfg).run_layer_timing(layer);
+  cfg.double_buffering = false;
+  const SimStats without = WinogradEngine(cfg).run_layer_timing(layer);
+  EXPECT_LE(with_db.stall_cycles, without.stall_cycles);
+  EXPECT_GT(without.stall_cycles, 0u);
+}
+
+TEST(EngineTiming, DramTrafficAccounted) {
+  nn::ConvLayerSpec layer;
+  layer.h = layer.w = 8;
+  layer.c = 2;
+  layer.k = 4;
+  layer.r = 3;
+  layer.pad = 1;
+  const WinogradEngine engine(small_engine(2, 4));
+  const SimStats s = engine.run_layer_timing(layer);
+  // One group: input (8*8*2) + kernels (4*2*16) + output (8*8*4), fp32.
+  const double expect = (8 * 8 * 2 + 4 * 2 * 16 + 8 * 8 * 4) * 4.0;
+  EXPECT_DOUBLE_EQ(s.dram_bytes, expect);
+}
+
+TEST(EngineConfigTest, PipelineDepthDerivedFromDagDepths) {
+  const EngineConfig cfg = small_engine(2, 1);
+  // F(2,3): data depth 1, inverse depth 2 -> 2*1 + 3 + 2*2 + 1 = 10.
+  EXPECT_EQ(cfg.pipeline_depth(), 10u);
+}
+
+TEST(EngineConfigTest, ProposedEngineUsesEq8) {
+  const EngineConfig cfg = proposed_engine(4, 700);
+  EXPECT_EQ(cfg.parallel_pes, 19u);
+  EXPECT_EQ(cfg.m, 4);
+  const EngineConfig ref = reference_engine(256);
+  EXPECT_EQ(ref.parallel_pes, 16u);
+  EXPECT_EQ(ref.style, fpga::EngineStyle::kPerPeDataTransform);
+}
+
+TEST(EngineConfigTest, RejectsInvalid) {
+  EngineConfig cfg;
+  cfg.parallel_pes = 0;
+  EXPECT_THROW(WinogradEngine{cfg}, std::invalid_argument);
+  EXPECT_THROW(proposed_engine(4, 10), std::invalid_argument);
+}
+
+TEST(Engine, TimingOnlyModeSkipsOutput) {
+  Rng rng(1);
+  const Tensor4f input = random_tensor(1, 2, 8, 8, rng);
+  const Tensor4f kernels = random_tensor(2, 2, 3, 3, rng);
+  const WinogradEngine engine(small_engine(2, 2));
+  const SimResult r =
+      engine.run_layer(input, kernels, 1, SimMode::kTimingOnly);
+  EXPECT_TRUE(r.output.empty());
+  EXPECT_GT(r.stats.total_cycles, 0u);
+}
+
+TEST(Engine, RejectsMismatchedKernels) {
+  const WinogradEngine engine(small_engine(2, 2));
+  const Tensor4f input(1, 2, 8, 8);
+  const Tensor4f bad_c(2, 3, 3, 3);
+  EXPECT_THROW(engine.run_layer(input, bad_c, 1), std::invalid_argument);
+  const Tensor4f bad_r(2, 2, 5, 5);
+  EXPECT_THROW(engine.run_layer(input, bad_r, 1), std::invalid_argument);
+}
+
+TEST(Engine, FiveByFiveKernelEngine) {
+  // An F(2x2, 5x5) engine (AlexNet conv2 class): datapath must stay
+  // correct with the larger tile and 49-multiplier PEs.
+  Rng rng(57);
+  const Tensor4f input = random_tensor(1, 2, 10, 10, rng);
+  const Tensor4f kernels = random_tensor(3, 2, 5, 5, rng);
+  EngineConfig cfg;
+  cfg.m = 2;
+  cfg.r = 5;
+  cfg.parallel_pes = 2;
+  const WinogradEngine engine(cfg);
+  const SimResult sim = engine.run_layer(input, kernels, /*pad=*/2);
+  const Tensor4f ref =
+      conv::conv2d_spatial(input, kernels, {.pad = 2, .stride = 1});
+  const float scale = std::max(1.0F, tensor::max_abs(ref));
+  EXPECT_LE(tensor::max_abs_diff(sim.output, ref) / scale, 2e-3F);
+  // Tile is (2 + 5 - 1)^2 = 36 multipliers per PE.
+  EXPECT_EQ(cfg.tile(), 6u);
+}
+
+TEST(Engine, BatchProcessing) {
+  Rng rng(9);
+  const Tensor4f input = random_tensor(2, 2, 8, 8, rng);
+  const Tensor4f kernels = random_tensor(3, 2, 3, 3, rng);
+  const WinogradEngine engine(small_engine(2, 2));
+  const SimResult sim = engine.run_layer(input, kernels, 1);
+  const Tensor4f ref =
+      conv::conv2d_spatial(input, kernels, {.pad = 1, .stride = 1});
+  EXPECT_LE(tensor::max_abs_diff(sim.output, ref), 1e-3F);
+  // Batch doubles the tiles.
+  nn::ConvLayerSpec layer;
+  layer.h = layer.w = 8;
+  layer.c = 2;
+  layer.k = 3;
+  layer.r = 3;
+  layer.pad = 1;
+  EXPECT_EQ(engine.run_layer_timing(layer, 2).tiles,
+            2 * engine.run_layer_timing(layer, 1).tiles);
+}
+
+}  // namespace
+}  // namespace wino::hw

@@ -1,0 +1,151 @@
+#include "hw/line_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace wino::hw {
+namespace {
+
+using tensor::Tensor4f;
+
+struct LbCase {
+  int m;
+  std::size_t h, w;
+  int pad;
+};
+
+class LineBufferTiles : public ::testing::TestWithParam<LbCase> {};
+
+// The streaming line buffer must emit exactly the tiles a random-access
+// padded gather produces — for every tile position, including the padded
+// borders and ragged bottom rows.
+TEST_P(LineBufferTiles, MatchesPaddedGather) {
+  const auto p = GetParam();
+  common::Rng rng(p.m * 100 + p.h);
+  Tensor4f img(1, 1, p.h, p.w);
+  rng.fill_uniform(img.flat());
+
+  LineBuffer lb(p.w, p.m, 3, p.pad);
+  const std::size_t n = static_cast<std::size_t>(p.m) + 2;
+  std::vector<float> row(p.w);
+  std::vector<float> tile(n * n);
+
+  std::size_t emitted_rows = 0;
+  for (std::size_t y = 0; y < p.h; ++y) {
+    for (std::size_t x = 0; x < p.w; ++x) row[x] = img(0, 0, y, x);
+    lb.push_row(row);
+
+    // Consume tile rows as they become ready (streaming discipline).
+    while (emitted_rows < lb.tile_rows_ready()) {
+      for (std::size_t tc = 0; tc < lb.tiles_per_row(); ++tc) {
+        lb.extract_tile(emitted_rows, tc, tile);
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            const auto want = img.padded(
+                0, 0,
+                static_cast<std::ptrdiff_t>(emitted_rows * p.m) - p.pad +
+                    static_cast<std::ptrdiff_t>(i),
+                static_cast<std::ptrdiff_t>(tc * p.m) - p.pad +
+                    static_cast<std::ptrdiff_t>(j));
+            ASSERT_FLOAT_EQ(tile[i * n + j], want)
+                << "tile(" << emitted_rows << "," << tc << ") elem " << i
+                << "," << j;
+          }
+        }
+      }
+      ++emitted_rows;
+    }
+  }
+  // Remaining tile rows touch only below-image padding rows; extract them
+  // after the stream ends.
+  const std::size_t total = lb.tile_rows_total(p.h);
+  for (; emitted_rows < total; ++emitted_rows) {
+    for (std::size_t tc = 0; tc < lb.tiles_per_row(); ++tc) {
+      lb.extract_tile(emitted_rows, tc, tile);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          const auto want = img.padded(
+              0, 0,
+              static_cast<std::ptrdiff_t>(emitted_rows * p.m) - p.pad +
+                  static_cast<std::ptrdiff_t>(i),
+              static_cast<std::ptrdiff_t>(tc * p.m) - p.pad +
+                  static_cast<std::ptrdiff_t>(j));
+          ASSERT_FLOAT_EQ(tile[i * n + j], want);
+        }
+      }
+    }
+  }
+  EXPECT_GE(emitted_rows, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, LineBufferTiles,
+    ::testing::Values(LbCase{2, 8, 8, 1}, LbCase{2, 7, 9, 1},
+                      LbCase{3, 9, 9, 1}, LbCase{3, 10, 7, 0},
+                      LbCase{4, 8, 8, 1}, LbCase{4, 13, 11, 2},
+                      LbCase{2, 4, 4, 0}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      std::string name = "m";
+      name += std::to_string(p.m);
+      name += "_h";
+      name += std::to_string(p.h);
+      name += "w";
+      name += std::to_string(p.w);
+      name += "p";
+      name += std::to_string(p.pad);
+      return name;
+    });
+
+TEST(LineBuffer, StorageIsNRows) {
+  const LineBuffer lb(224, 4, 3, 1);
+  EXPECT_EQ(lb.storage_elements(), 6u * 224u);
+}
+
+TEST(LineBuffer, RejectsBadGeometry) {
+  EXPECT_THROW(LineBuffer(0, 2, 3, 1), std::invalid_argument);
+  EXPECT_THROW(LineBuffer(8, 0, 3, 1), std::invalid_argument);
+  EXPECT_THROW(LineBuffer(8, 2, 3, 3), std::invalid_argument);  // pad >= r
+}
+
+TEST(LineBuffer, RejectsWrongRowWidth) {
+  LineBuffer lb(8, 2, 3, 1);
+  std::vector<float> bad(7);
+  EXPECT_THROW(lb.push_row(bad), std::invalid_argument);
+}
+
+TEST(LineBuffer, NonSequentialAccessDetected) {
+  LineBuffer lb(8, 2, 3, 0);
+  std::vector<float> row(8, 1.0F);
+  for (int y = 0; y < 8; ++y) lb.push_row(row);
+  std::vector<float> tile(16);
+  // Tile row 0 needs image rows 0..3, long evicted after 8 pushes.
+  EXPECT_THROW(lb.extract_tile(0, 0, tile), std::logic_error);
+}
+
+TEST(DoubleBuffer, NoStallWhenLoadFitsUnderCompute) {
+  const DoubleBufferController db(/*load=*/100, /*compute=*/300);
+  EXPECT_EQ(db.steady_stall(), 0u);
+  // 4 groups: initial fill 100, then 4 x 300 back to back.
+  EXPECT_EQ(db.run(4), 100u + 4u * 300u);
+}
+
+TEST(DoubleBuffer, StallsWhenLoadDominates) {
+  const DoubleBufferController db(/*load=*/500, /*compute=*/300);
+  EXPECT_EQ(db.steady_stall(), 200u);
+  // Compute of group g cannot start before bank g is loaded at
+  // (g+1)*500; with compute 300 the loader is the bottleneck:
+  // end = 4*500 + 300.
+  EXPECT_EQ(db.run(4), 4u * 500u + 300u);
+}
+
+TEST(DoubleBuffer, SingleGroupIsFillPlusCompute) {
+  const DoubleBufferController db(120, 300);
+  EXPECT_EQ(db.run(1), 420u);
+  EXPECT_EQ(db.run(0), 0u);
+}
+
+}  // namespace
+}  // namespace wino::hw

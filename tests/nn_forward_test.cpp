@@ -1,0 +1,112 @@
+#include "nn/forward.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+
+namespace wino::nn {
+namespace {
+
+using common::Rng;
+using tensor::Tensor4f;
+
+TEST(Relu, ClampsNegatives) {
+  Tensor4f t(1, 1, 1, 4);
+  t(0, 0, 0, 0) = -1.0F;
+  t(0, 0, 0, 1) = 0.0F;
+  t(0, 0, 0, 2) = 2.5F;
+  t(0, 0, 0, 3) = -0.1F;
+  relu_inplace(t);
+  EXPECT_FLOAT_EQ(t(0, 0, 0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(t(0, 0, 0, 1), 0.0F);
+  EXPECT_FLOAT_EQ(t(0, 0, 0, 2), 2.5F);
+  EXPECT_FLOAT_EQ(t(0, 0, 0, 3), 0.0F);
+}
+
+TEST(MaxPool, TwoByTwo) {
+  Tensor4f t(1, 1, 4, 4);
+  float v = 0.0F;
+  for (auto& x : t.flat()) x = v++;
+  const Tensor4f p = maxpool2x2(t);
+  EXPECT_EQ(p.shape().h, 2u);
+  EXPECT_EQ(p.shape().w, 2u);
+  EXPECT_FLOAT_EQ(p(0, 0, 0, 0), 5.0F);
+  EXPECT_FLOAT_EQ(p(0, 0, 1, 1), 15.0F);
+}
+
+TEST(MaxPool, RejectsTinyInput) {
+  const Tensor4f t(1, 1, 1, 4);
+  EXPECT_THROW(maxpool2x2(t), std::invalid_argument);
+}
+
+TEST(FullyConnected, SmallExact) {
+  Tensor4f x(1, 3, 1, 1);
+  x(0, 0, 0, 0) = 1.0F;
+  x(0, 1, 0, 0) = 2.0F;
+  x(0, 2, 0, 0) = 3.0F;
+  const std::vector<float> w{1, 0, 0, 0, 1, 1};  // 2x3
+  const std::vector<float> b{0.5F, -0.5F};
+  const Tensor4f y = fully_connected(x, w, b, 2);
+  EXPECT_FLOAT_EQ(y(0, 0, 0, 0), 1.5F);
+  EXPECT_FLOAT_EQ(y(0, 1, 0, 0), 4.5F);
+}
+
+TEST(FullyConnected, SizeMismatchThrows) {
+  const Tensor4f x(1, 3, 1, 1);
+  EXPECT_THROW(fully_connected(x, std::vector<float>(5), {0.0F}, 1),
+               std::invalid_argument);
+}
+
+TEST(Forward, AllAlgorithmsAgreeOnScaledVgg) {
+  // End-to-end inference on a scaled-down VGG16-D: all conv algorithms
+  // must produce (numerically) the same logits.
+  const auto layers = vgg16_d_scaled(/*scale=*/7, /*channel_div=*/16);
+  const WeightBank weights = random_weights(layers, 42);
+  Tensor4f input(1, 3, 32, 32);
+  Rng rng(17);
+  rng.fill_uniform(input.flat());
+
+  const Tensor4f ref = forward(layers, weights, input, ConvAlgo::kSpatial);
+  ASSERT_GT(tensor::max_abs(ref), 0.0F);
+  for (const ConvAlgo algo :
+       {ConvAlgo::kIm2col, ConvAlgo::kFft, ConvAlgo::kWinograd2,
+        ConvAlgo::kWinograd3, ConvAlgo::kWinograd4}) {
+    const Tensor4f got = forward(layers, weights, input, algo);
+    ASSERT_EQ(got.shape(), ref.shape()) << to_string(algo);
+    const float rel = tensor::max_abs_diff(got, ref) /
+                      std::max(1.0F, tensor::max_abs(ref));
+    EXPECT_LE(rel, 2e-3F) << to_string(algo);
+  }
+}
+
+TEST(Forward, ScaledVggShapeInference) {
+  const auto layers = vgg16_d_scaled(7, 16);
+  const WeightBank weights = random_weights(layers);
+  Tensor4f input(1, 3, 32, 32, 0.1F);
+  const Tensor4f out =
+      forward(layers, weights, input, ConvAlgo::kSpatial);
+  EXPECT_EQ(out.shape().c, 10u);  // classifier head
+  EXPECT_EQ(out.shape().h, 1u);
+}
+
+TEST(Forward, MissingWeightsThrow) {
+  const auto layers = vgg16_d_scaled(7, 16);
+  const WeightBank empty;
+  const Tensor4f input(1, 3, 32, 32);
+  EXPECT_THROW(forward(layers, empty, input, ConvAlgo::kSpatial),
+               std::invalid_argument);
+}
+
+TEST(Forward, ScaledModelRejectsBadScale) {
+  EXPECT_THROW(vgg16_d_scaled(5), std::invalid_argument);
+  EXPECT_THROW(vgg16_d_scaled(0), std::invalid_argument);
+  EXPECT_THROW(vgg16_d_scaled(7, 0), std::invalid_argument);
+}
+
+TEST(ConvAlgoNames, AllDistinct) {
+  EXPECT_EQ(to_string(ConvAlgo::kWinograd4), "winograd-F(4x4,3x3)");
+  EXPECT_NE(to_string(ConvAlgo::kSpatial), to_string(ConvAlgo::kIm2col));
+}
+
+}  // namespace
+}  // namespace wino::nn

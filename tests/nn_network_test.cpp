@@ -1,0 +1,98 @@
+#include "nn/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wino::nn {
+namespace {
+
+TEST(Vgg16D, ThirteenConvLayersInFiveGroups) {
+  const ConvWorkload& net = vgg16_d();
+  EXPECT_EQ(net.groups.size(), 5u);
+  EXPECT_EQ(net.all_layers().size(), 13u);
+  EXPECT_EQ(net.groups[0].layers.size(), 2u);
+  EXPECT_EQ(net.groups[2].layers.size(), 3u);
+}
+
+TEST(Vgg16D, AllKernelsAre3x3Pad1) {
+  for (const auto& l : vgg16_d().all_layers()) {
+    EXPECT_EQ(l.r, 3u) << l.name;
+    EXPECT_EQ(l.pad, 1) << l.name;
+    EXPECT_EQ(l.out_h(), l.h) << l.name;  // same-size convolution
+    EXPECT_EQ(l.out_w(), l.w) << l.name;
+  }
+}
+
+TEST(Vgg16D, ChannelProgression) {
+  const auto layers = vgg16_d().all_layers();
+  EXPECT_EQ(layers[0].c, 3u);
+  EXPECT_EQ(layers[0].k, 64u);
+  EXPECT_EQ(layers[1].c, 64u);
+  EXPECT_EQ(layers.back().c, 512u);
+  EXPECT_EQ(layers.back().k, 512u);
+  EXPECT_EQ(layers.back().h, 14u);
+}
+
+// The paper's Fig 1 "Spatial Conv" bars, in multiplications. These are the
+// exact NHWCK*r^2 values for VGG16-D (verified by hand in DESIGN.md).
+TEST(Vgg16D, SpatialMultiplicationsMatchFig1) {
+  const ConvWorkload& net = vgg16_d();
+  const double expected[] = {1.936e9, 2.775e9, 4.624e9, 4.624e9, 1.387e9};
+  for (std::size_t g = 0; g < 5; ++g) {
+    const double got = static_cast<double>(net.groups[g].spatial_mults());
+    EXPECT_NEAR(got / 1e9, expected[g] / 1e9, 0.001)
+        << net.groups[g].name;
+  }
+}
+
+TEST(Vgg16D, TotalSpatialOpsAbout30p7GOps) {
+  // O_S = 2 * 15.346G multiplications = 30.69 GOP, the Eq 10 numerator
+  // behind every throughput figure in Table II.
+  const double ops = static_cast<double>(vgg16_d().spatial_ops());
+  EXPECT_NEAR(ops / 1e9, 30.69, 0.01);
+}
+
+TEST(Vgg16D, FullModelHasPoolsAndFcs) {
+  const auto layers = vgg16_d_full();
+  std::size_t convs = 0;
+  std::size_t pools = 0;
+  std::size_t fcs = 0;
+  for (const auto& l : layers) {
+    switch (l.kind) {
+      case LayerKind::kConv:
+        ++convs;
+        break;
+      case LayerKind::kMaxPool:
+        ++pools;
+        break;
+      case LayerKind::kFullyConnected:
+        ++fcs;
+        break;
+    }
+  }
+  EXPECT_EQ(convs, 13u);
+  EXPECT_EQ(pools, 5u);
+  EXPECT_EQ(fcs, 3u);
+  EXPECT_EQ(layers.back().fc_out, 1000u);
+}
+
+TEST(ConvLayerSpec, OutExtentWithoutPadding) {
+  ConvLayerSpec l;
+  l.h = 10;
+  l.w = 8;
+  l.c = 1;
+  l.k = 1;
+  l.r = 3;
+  l.pad = 0;
+  EXPECT_EQ(l.out_h(), 8u);
+  EXPECT_EQ(l.out_w(), 6u);
+  EXPECT_EQ(l.spatial_mults(), 8u * 6u * 9u);
+}
+
+TEST(ConvWorkload, BatchScalesLinearly) {
+  const ConvWorkload& net = vgg16_d();
+  EXPECT_EQ(net.spatial_mults(4), 4 * net.spatial_mults(1));
+  EXPECT_EQ(net.spatial_ops(2), 2 * net.spatial_ops(1));
+}
+
+}  // namespace
+}  // namespace wino::nn

@@ -1,0 +1,195 @@
+// Property-based (randomised) tests of the core invariants: rational field
+// axioms, Cook-Toom correctness over random interpolation points, program/
+// matrix equivalence over random matrices, and linearity properties of the
+// convolution paths.
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "common/rational.hpp"
+#include "conv/spatial.hpp"
+#include "winograd/cook_toom.hpp"
+#include "winograd/kernels.hpp"
+#include "winograd/program.hpp"
+
+namespace wino {
+namespace {
+
+using common::Matrix;
+using common::Rational;
+using common::Rng;
+
+Rational random_rational(Rng& rng) {
+  const std::int64_t num = rng.uniform_int(-12, 12);
+  const std::int64_t den = rng.uniform_int(1, 8);
+  return Rational(num, den);
+}
+
+TEST(RationalProperties, FieldAxiomsHoldOnRandomTriples) {
+  Rng rng(101);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Rational a = random_rational(rng);
+    const Rational b = random_rational(rng);
+    const Rational c = random_rational(rng);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + Rational(0), a);
+    EXPECT_EQ(a * Rational(1), a);
+    EXPECT_EQ(a - a, Rational(0));
+    if (!b.is_zero()) {
+      EXPECT_EQ(a / b * b, a);
+    }
+  }
+}
+
+TEST(RationalProperties, OrderingConsistentWithDoubles) {
+  Rng rng(102);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Rational a = random_rational(rng);
+    const Rational b = random_rational(rng);
+    if (a.to_double() < b.to_double() - 1e-12) {
+      EXPECT_LT(a, b);
+    } else if (a.to_double() > b.to_double() + 1e-12) {
+      EXPECT_GT(a, b);
+    }
+  }
+}
+
+TEST(CookToomProperties, RandomDistinctPointsAlwaysExact) {
+  // Any set of pairwise distinct rational points yields a correct minimal
+  // algorithm — exactness is structural, not a property of nice points.
+  Rng rng(103);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(1, 5));
+    const int r = static_cast<int>(rng.uniform_int(2, 4));
+    std::vector<Rational> pts;
+    while (pts.size() < static_cast<std::size_t>(m + r - 2)) {
+      const Rational cand = random_rational(rng);
+      bool dup = false;
+      for (const auto& p : pts) dup = dup || p == cand;
+      if (!dup) pts.push_back(cand);
+    }
+    const auto t = winograd::cook_toom(m, r, pts);
+    // Bilinear check on the full basis.
+    const auto n = static_cast<std::size_t>(t.tile());
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < static_cast<std::size_t>(r); ++j) {
+        std::vector<Rational> d(n);
+        std::vector<Rational> g(static_cast<std::size_t>(r));
+        d[i] = Rational(1);
+        g[j] = Rational(1);
+        EXPECT_EQ(winograd::apply_1d_exact(t, d, g),
+                  winograd::direct_correlation(d, g, m))
+            << "m=" << m << " r=" << r << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(ProgramProperties, RandomMatricesMatchOnRandomInputs) {
+  Rng rng(104);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t rows = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    const std::size_t cols = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    Matrix<Rational> m(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        // Sparse-ish random entries including awkward rationals.
+        if (rng.uniform_int(0, 2) == 0) continue;
+        m(i, j) = random_rational(rng);
+      }
+    }
+    for (const bool cse : {false, true}) {
+      const auto prog = winograd::LinearProgram::from_matrix(m, cse);
+      std::vector<double> in(cols);
+      for (auto& v : in) v = rng.uniform(-3.0F, 3.0F);
+      std::vector<double> got(rows);
+      prog.execute(in, got);
+      for (std::size_t i = 0; i < rows; ++i) {
+        double want = 0;
+        for (std::size_t j = 0; j < cols; ++j) {
+          want += m(i, j).to_double() * in[j];
+        }
+        EXPECT_NEAR(got[i], want, 1e-9)
+            << "trial=" << trial << " cse=" << cse << " row=" << i;
+      }
+    }
+  }
+}
+
+TEST(ConvolutionProperties, LinearityInInput) {
+  // conv(a*x + y) == a*conv(x) + conv(y) for every path, within float
+  // tolerance — the property that justifies transform-domain channel
+  // accumulation in the engine.
+  Rng rng(105);
+  tensor::Tensor4f x(1, 2, 8, 8);
+  tensor::Tensor4f y(1, 2, 8, 8);
+  tensor::Tensor4f k(2, 2, 3, 3);
+  rng.fill_uniform(x.flat());
+  rng.fill_uniform(y.flat());
+  rng.fill_uniform(k.flat());
+  const float alpha = 0.75F;
+
+  tensor::Tensor4f combo(1, 2, 8, 8);
+  for (std::size_t i = 0; i < combo.size(); ++i) {
+    combo.flat()[i] = alpha * x.flat()[i] + y.flat()[i];
+  }
+  winograd::WinogradConvOptions opt;
+  opt.pad = 1;
+  const auto cx = winograd::conv2d_winograd(x, k, 3, opt);
+  const auto cy = winograd::conv2d_winograd(y, k, 3, opt);
+  const auto cc = winograd::conv2d_winograd(combo, k, 3, opt);
+  for (std::size_t i = 0; i < cc.size(); ++i) {
+    EXPECT_NEAR(cc.flat()[i], alpha * cx.flat()[i] + cy.flat()[i], 1e-4F);
+  }
+}
+
+TEST(ConvolutionProperties, ShiftedDeltaKernelTranslates) {
+  // Convolving with a one-hot kernel at (u, v) shifts the image; checks
+  // the index arithmetic of the tiled path against first principles.
+  Rng rng(106);
+  tensor::Tensor4f img(1, 1, 9, 9);
+  rng.fill_uniform(img.flat());
+  for (std::size_t u = 0; u < 3; ++u) {
+    for (std::size_t v = 0; v < 3; ++v) {
+      tensor::Tensor4f k(1, 1, 3, 3);
+      k(0, 0, u, v) = 1.0F;
+      winograd::WinogradConvOptions opt;
+      opt.pad = 1;
+      const auto y = winograd::conv2d_winograd(img, k, 2, opt);
+      for (std::size_t oy = 0; oy < 9; ++oy) {
+        for (std::size_t ox = 0; ox < 9; ++ox) {
+          const auto want = img.padded(
+              0, 0,
+              static_cast<std::ptrdiff_t>(oy + u) - 1,
+              static_cast<std::ptrdiff_t>(ox + v) - 1);
+          ASSERT_NEAR(y(0, 0, oy, ox), want, 1e-4F)
+              << "u=" << u << " v=" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(ConvolutionProperties, ConstantImageYieldsKernelSum) {
+  // A constant image convolved (interior pixels) gives sum(kernel) * c.
+  tensor::Tensor4f img(1, 1, 10, 10, 2.0F);
+  Rng rng(107);
+  tensor::Tensor4f k(1, 1, 3, 3);
+  rng.fill_uniform(k.flat());
+  float ksum = 0;
+  for (const float v : k.flat()) ksum += v;
+  winograd::WinogradConvOptions opt;
+  opt.pad = 0;
+  const auto y = winograd::conv2d_winograd(img, k, 4, opt);
+  for (std::size_t oy = 0; oy < y.shape().h; ++oy) {
+    for (std::size_t ox = 0; ox < y.shape().w; ++ox) {
+      ASSERT_NEAR(y(0, 0, oy, ox), 2.0F * ksum, 1e-4F);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wino

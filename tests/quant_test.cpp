@@ -1,0 +1,145 @@
+#include "quant/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "conv/spatial.hpp"
+
+namespace wino::quant {
+namespace {
+
+using common::Rng;
+using tensor::Tensor4f;
+
+TEST(FixedPointFormat, QuantizesToGrid) {
+  const FixedPointFormat q8{.total_bits = 8, .frac_bits = 4};
+  EXPECT_FLOAT_EQ(q8.quantize(0.25F), 0.25F);   // exactly representable
+  EXPECT_FLOAT_EQ(q8.quantize(0.26F), 0.25F);   // rounds to 4/16
+  EXPECT_FLOAT_EQ(q8.quantize(0.21F), 0.1875F); // rounds to 3/16
+  EXPECT_FLOAT_EQ(q8.quantize(-0.25F), -0.25F);
+}
+
+TEST(FixedPointFormat, Saturates) {
+  const FixedPointFormat q8{.total_bits = 8, .frac_bits = 4};
+  EXPECT_FLOAT_EQ(q8.quantize(100.0F), q8.max_value());
+  EXPECT_FLOAT_EQ(q8.quantize(-100.0F), q8.min_value());
+  EXPECT_FLOAT_EQ(static_cast<float>(q8.max_value()), 127.0F / 16.0F);
+  EXPECT_FLOAT_EQ(static_cast<float>(q8.min_value()), -8.0F);
+}
+
+TEST(FixedPointFormat, RejectsBadWidths) {
+  const FixedPointFormat bad{.total_bits = 4, .frac_bits = 8};
+  EXPECT_THROW(static_cast<void>(bad.quantize(1.0F)),
+               std::invalid_argument);
+}
+
+TEST(FixedPointFormat, WideFormatsNearLossless) {
+  const FixedPointFormat q24{.total_bits = 24, .frac_bits = 16};
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const float v = rng.uniform(-2.0F, 2.0F);
+    EXPECT_NEAR(q24.quantize(v), v, 1.0F / 65536.0F);
+  }
+}
+
+TEST(QuantizedConv, MatchesFp32ForWideWordlength) {
+  Rng rng(11);
+  Tensor4f input(1, 3, 8, 8);
+  Tensor4f kernels(2, 3, 3, 3);
+  rng.fill_uniform(input.flat());
+  rng.fill_uniform(kernels.flat());
+  const Tensor4f ref =
+      conv::conv2d_spatial(input, kernels, {.pad = 1, .stride = 1});
+  const FixedPointFormat q24{.total_bits = 24, .frac_bits = 16};
+  const Tensor4f got = conv2d_winograd_quantized(input, kernels, 2, q24, 1);
+  const QuantError e = compare(got, ref);
+  EXPECT_LE(e.relative_max(), 1e-3F);
+}
+
+TEST(QuantizedConv, ErrorGrowsAsWordlengthShrinks) {
+  Rng rng(13);
+  Tensor4f input(1, 4, 12, 12);
+  Tensor4f kernels(3, 4, 3, 3);
+  rng.fill_uniform(input.flat());
+  rng.fill_uniform(kernels.flat(), -0.5F, 0.5F);
+  const Tensor4f ref =
+      conv::conv2d_spatial(input, kernels, {.pad = 1, .stride = 1});
+  float prev = -1.0F;
+  for (const int bits : {24, 18, 12}) {
+    const FixedPointFormat fmt{.total_bits = bits, .frac_bits = bits - 6};
+    const Tensor4f got =
+        conv2d_winograd_quantized(input, kernels, 2, fmt, 1);
+    const float err = compare(got, ref).rms;
+    EXPECT_GT(err, prev) << "bits=" << bits;
+    prev = err;
+  }
+}
+
+TEST(QuantizedConv, HigherOrderNeedsMoreBits) {
+  // The F(4,3) transform constants (1/24 etc.) amplify quantisation noise
+  // relative to F(2,3) at equal wordlength.
+  Rng rng(17);
+  Tensor4f input(1, 2, 8, 8);
+  Tensor4f kernels(2, 2, 3, 3);
+  rng.fill_uniform(input.flat());
+  rng.fill_uniform(kernels.flat(), -0.5F, 0.5F);
+  const Tensor4f ref =
+      conv::conv2d_spatial(input, kernels, {.pad = 1, .stride = 1});
+  const FixedPointFormat fmt{.total_bits = 16, .frac_bits = 10};
+  const float err2 =
+      compare(conv2d_winograd_quantized(input, kernels, 2, fmt, 1), ref).rms;
+  const float err4 =
+      compare(conv2d_winograd_quantized(input, kernels, 4, fmt, 1), ref).rms;
+  EXPECT_GT(err4, err2);
+}
+
+TEST(QuantizedConv, GuardBitsRescueSaturation) {
+  // F(4,3)'s transform constants push intermediates past the external
+  // range; without guard bits the datapath saturates and the result is
+  // garbage, with them it tracks the reference.
+  Rng rng(19);
+  Tensor4f input(1, 2, 8, 8);
+  Tensor4f kernels(1, 2, 3, 3);
+  rng.fill_uniform(input.flat());
+  rng.fill_uniform(kernels.flat(), -0.5F, 0.5F);
+  const Tensor4f ref =
+      conv::conv2d_spatial(input, kernels, {.pad = 1, .stride = 1});
+  const FixedPointFormat fmt{.total_bits = 16, .frac_bits = 10};
+  const float with_guard =
+      compare(conv2d_winograd_quantized(input, kernels, 4, fmt, 1, 8), ref)
+          .relative_max();
+  const float without =
+      compare(conv2d_winograd_quantized(input, kernels, 4, fmt, 1, 0), ref)
+          .relative_max();
+  EXPECT_LT(with_guard, 0.05F);
+  EXPECT_GT(without, with_guard * 10);
+}
+
+TEST(QuantizedConv, RejectsExcessGuardBits) {
+  const Tensor4f in(1, 1, 4, 4);
+  const Tensor4f k(1, 1, 3, 3);
+  const FixedPointFormat q32{.total_bits = 32, .frac_bits = 20};
+  EXPECT_THROW(conv2d_winograd_quantized(in, k, 2, q32, 1),  // 32 + 8 > 32
+               std::invalid_argument);
+  EXPECT_NO_THROW(conv2d_winograd_quantized(in, k, 2, q32, 1, 0));
+}
+
+TEST(QuantizeTensor, InPlace) {
+  Tensor4f t(1, 1, 1, 3);
+  t(0, 0, 0, 0) = 0.26F;
+  t(0, 0, 0, 1) = -0.22F;
+  t(0, 0, 0, 2) = 99.0F;
+  const FixedPointFormat q8{.total_bits = 8, .frac_bits = 4};
+  quantize_tensor(t, q8);
+  EXPECT_FLOAT_EQ(t(0, 0, 0, 0), 0.25F);
+  EXPECT_FLOAT_EQ(t(0, 0, 0, 2), q8.max_value());
+}
+
+TEST(Compare, ShapeMismatchThrows) {
+  const Tensor4f a(1, 1, 2, 2);
+  const Tensor4f b(1, 1, 2, 3);
+  EXPECT_THROW(compare(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wino::quant

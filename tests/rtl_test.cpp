@@ -1,0 +1,229 @@
+// RTL backend: netlist lowering correctness (bit-exact fixed-point
+// evaluation against the double-precision transform programs) and Verilog
+// emission structure.
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "rtl/netlist.hpp"
+#include "rtl/verilog.hpp"
+#include "winograd/cook_toom.hpp"
+
+namespace wino::rtl {
+namespace {
+
+using winograd::LinearProgram;
+
+// Quantisation error bound for one netlist evaluation: inputs are exact on
+// the grid; every constant multiply contributes <= 2^-cfb relative to its
+// operand, every arithmetic shift-right floors once. A loose but safe
+// bound is (ops) * (input magnitude) * 2^-frac_bits.
+double error_bound(const Netlist& nl, double in_magnitude) {
+  const auto s = nl.summary();
+  const double ulp = std::pow(2.0, -nl.format().frac_bits);
+  const double cq = std::pow(2.0, -nl.format().constant_frac_bits);
+  return static_cast<double>(s.adders + s.shifters + 4 * s.multipliers) *
+             std::max(1.0, in_magnitude) * 8.0 * (ulp + cq) +
+         ulp;
+}
+
+class NetlistVsProgram : public ::testing::TestWithParam<int> {};
+
+TEST_P(NetlistVsProgram, DataTransformMatchesProgram) {
+  const int m = GetParam();
+  const auto& t = winograd::transforms(m, 3);
+  for (const auto* mat : {&t.bt, &t.g, &t.at}) {
+    const LinearProgram prog = LinearProgram::from_matrix(*mat, true);
+    const FixedFormat fmt{28, 12, 14};
+    const Netlist nl = Netlist::from_program(prog, fmt);
+    common::Rng rng(m);
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<double> in(prog.inputs());
+      for (auto& v : in) v = rng.uniform(-4.0F, 4.0F);
+      std::vector<double> want(prog.outputs());
+      prog.execute(in, want);
+      std::vector<double> got(prog.outputs());
+      nl.evaluate_real(in, got);
+      const double bound = error_bound(nl, 4.0);
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_NEAR(got[i], want[i], bound)
+            << "m=" << m << " rows=" << mat->rows() << " out=" << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, NetlistVsProgram,
+                         ::testing::Values(2, 3, 4, 5, 6),
+                         [](const auto& info) {
+                           std::string n = "m";
+                           n += std::to_string(info.param);
+                           return n;
+                         });
+
+TEST(Netlist, SummaryCountsResources) {
+  const auto& t = winograd::transforms(2, 3);
+  const LinearProgram prog = LinearProgram::from_matrix(t.bt, true);
+  const Netlist nl = Netlist::from_program(prog, FixedFormat{});
+  const auto s = nl.summary();
+  // F(2,3) B^T is pure adds: 4 adders, nothing else (zero-wire folded).
+  EXPECT_EQ(s.adders, 4u);
+  EXPECT_EQ(s.multipliers, 0u);
+}
+
+TEST(Netlist, ZeroRowReadsZero) {
+  common::Matrix<common::Rational> m(2, 2);
+  m(1, 1) = common::Rational(1);
+  const LinearProgram prog = LinearProgram::from_matrix(m, true);
+  const Netlist nl = Netlist::from_program(prog, FixedFormat{});
+  std::vector<std::int64_t> in{1024, -2048};
+  std::vector<std::int64_t> out(2);
+  nl.evaluate(in, out);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], -2048);
+}
+
+TEST(Netlist, WrapsAtWidth) {
+  // 8-bit wires: 127 + 1 wraps to -128, as hardware would.
+  common::Matrix<common::Rational> m{{1, 1}};
+  const LinearProgram prog = LinearProgram::from_matrix(m, true);
+  const Netlist nl = Netlist::from_program(prog, FixedFormat{8, 0, 8});
+  std::vector<std::int64_t> in{127, 1};
+  std::vector<std::int64_t> out(1);
+  nl.evaluate(in, out);
+  EXPECT_EQ(out[0], -128);
+}
+
+TEST(Netlist, RejectsBadFormat) {
+  const auto& t = winograd::transforms(2, 3);
+  const LinearProgram prog = LinearProgram::from_matrix(t.bt, true);
+  EXPECT_THROW(Netlist::from_program(prog, FixedFormat{1, 0, 8}),
+               std::invalid_argument);
+  EXPECT_THROW(Netlist::from_program(prog, FixedFormat{24, 10, 0}),
+               std::invalid_argument);
+}
+
+TEST(Netlist, EvaluateSizeChecked) {
+  const auto& t = winograd::transforms(2, 3);
+  const Netlist nl = Netlist::from_program(
+      LinearProgram::from_matrix(t.bt, true), FixedFormat{});
+  std::vector<std::int64_t> in(3);  // needs 4
+  std::vector<std::int64_t> out(4);
+  EXPECT_THROW(nl.evaluate(in, out), std::invalid_argument);
+}
+
+TEST(Verilog, TransformModuleStructure) {
+  const auto& t = winograd::transforms(2, 3);
+  const LinearProgram prog = LinearProgram::from_matrix(t.bt, true);
+  const Netlist nl = Netlist::from_program(prog, FixedFormat{24, 10, 12});
+  const std::string v = emit_transform_module("bt_f2", nl);
+  EXPECT_NE(v.find("module bt_f2"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("input  signed [23:0] in_0"), std::string::npos);
+  EXPECT_NE(v.find("output signed [23:0] out_3"), std::string::npos);
+  // Four adders -> at least four +/- assigns.
+  std::size_t ops = 0;
+  for (std::size_t pos = 0;
+       (pos = v.find(" = t", pos)) != std::string::npos; ++pos) {
+    ++ops;
+  }
+  std::size_t pluses = 0;
+  for (const char c : v) pluses += (c == '+' || c == '-');
+  EXPECT_GE(pluses, 4u);
+}
+
+TEST(Verilog, PeModuleContainsMultArrayAndInverseInstances) {
+  const std::string v = emit_pe_module("pe_f4", 4, 3, FixedFormat{});
+  EXPECT_NE(v.find("module pe_f4_inverse"), std::string::npos);
+  EXPECT_NE(v.find("module pe_f4 ("), std::string::npos);
+  // Fig 5's nesting: n row instances + m column instances.
+  EXPECT_NE(v.find("for (gr = 0; gr < 6;"), std::string::npos);
+  EXPECT_NE(v.find("for (gc = 0; gc < 4;"), std::string::npos);
+  EXPECT_NE(v.find("(u[i] * v[i])"), std::string::npos);
+}
+
+TEST(Verilog, EngineTopSharesDataTransform) {
+  hw::EngineConfig cfg;
+  cfg.m = 2;
+  cfg.r = 3;
+  cfg.parallel_pes = 8;
+  const std::string v = emit_engine(cfg, FixedFormat{});
+  EXPECT_NE(v.find("module data_transform_1d"), std::string::npos);
+  EXPECT_NE(v.find("module winograd_engine #(parameter PES = 8)"),
+            std::string::npos);
+  // Exactly one shared U bus wired into all PEs.
+  EXPECT_NE(v.find("winograd_pe pe_i (.clk(clk), .u(u),"),
+            std::string::npos);
+  // Both data-transform passes present.
+  EXPECT_NE(v.find("begin : dt_rows"), std::string::npos);
+  EXPECT_NE(v.find("begin : dt_cols"), std::string::npos);
+}
+
+TEST(Verilog, TestbenchIsSelfChecking) {
+  const auto& t = winograd::transforms(3, 3);
+  const LinearProgram prog = LinearProgram::from_matrix(t.bt, true);
+  const Netlist nl = Netlist::from_program(prog, FixedFormat{24, 10, 12});
+  const std::string tb =
+      emit_transform_testbench("bt_f3", nl, /*vector_count=*/8, /*seed=*/3);
+  EXPECT_NE(tb.find("module bt_f3_tb;"), std::string::npos);
+  EXPECT_NE(tb.find("bt_f3 dut ("), std::string::npos);
+  EXPECT_NE(tb.find("$fatal"), std::string::npos);
+  EXPECT_NE(tb.find("TB PASS"), std::string::npos);
+  EXPECT_NE(tb.find("$finish"), std::string::npos);
+  // Eight vectors -> eight settle delays.
+  std::size_t settles = 0;
+  for (std::size_t pos = 0; (pos = tb.find("#1;", pos)) != std::string::npos;
+       ++pos) {
+    ++settles;
+  }
+  EXPECT_EQ(settles, 8u);
+  // Every output of every vector is checked.
+  std::size_t checks = 0;
+  for (std::size_t pos = 0;
+       (pos = tb.find("!==", pos)) != std::string::npos; ++pos) {
+    ++checks;
+  }
+  EXPECT_EQ(checks, 8u * nl.outputs().size());
+}
+
+TEST(Verilog, TestbenchDeterministicInSeed) {
+  const auto& t = winograd::transforms(2, 3);
+  const Netlist nl = Netlist::from_program(
+      LinearProgram::from_matrix(t.bt, true), FixedFormat{});
+  EXPECT_EQ(emit_transform_testbench("x", nl, 4, 7),
+            emit_transform_testbench("x", nl, 4, 7));
+  EXPECT_NE(emit_transform_testbench("x", nl, 4, 7),
+            emit_transform_testbench("x", nl, 4, 8));
+}
+
+TEST(Verilog, GeneratedFileIsSelfContained) {
+  hw::EngineConfig cfg;
+  cfg.m = 3;
+  cfg.r = 3;
+  cfg.parallel_pes = 4;
+  const std::string v = emit_engine(cfg, FixedFormat{});
+  // Every instantiated module is defined in the same string.
+  for (const char* mod :
+       {"data_transform_1d", "winograd_pe_inverse", "winograd_pe",
+        "winograd_engine"}) {
+    std::string query = "module ";
+    query.append(mod);
+    EXPECT_NE(v.find(query), std::string::npos) << mod;
+  }
+  // Balanced module/endmodule.
+  std::size_t mods = 0;
+  std::size_t ends = 0;
+  for (std::size_t pos = 0;
+       (pos = v.find("\nmodule ", pos)) != std::string::npos; ++pos) {
+    ++mods;
+  }
+  for (std::size_t pos = 0;
+       (pos = v.find("endmodule", pos)) != std::string::npos; ++pos) {
+    ++ends;
+  }
+  // Every module in the emitted file follows a comment line, so counting
+  // line-start "module " matches the endmodule count exactly.
+  EXPECT_EQ(mods, ends);
+}
+
+}  // namespace
+}  // namespace wino::rtl

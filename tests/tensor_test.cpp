@@ -1,0 +1,61 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wino::tensor {
+namespace {
+
+TEST(Tensor4, ShapeAndVolume) {
+  const Tensor4f t(2, 3, 4, 5);
+  EXPECT_EQ(t.shape().volume(), 120u);
+  EXPECT_EQ(t.size(), 120u);
+}
+
+TEST(Tensor4, RowMajorLayout) {
+  Tensor4f t(1, 2, 2, 2);
+  float v = 0.0F;
+  for (auto& x : t.flat()) x = v++;
+  // w is fastest, then h, then c.
+  EXPECT_FLOAT_EQ(t(0, 0, 0, 1), 1.0F);
+  EXPECT_FLOAT_EQ(t(0, 0, 1, 0), 2.0F);
+  EXPECT_FLOAT_EQ(t(0, 1, 0, 0), 4.0F);
+}
+
+TEST(Tensor4, AtBoundsChecked) {
+  Tensor4f t(1, 1, 2, 2);
+  EXPECT_THROW(t.at(0, 0, 2, 0), std::out_of_range);
+  EXPECT_THROW(t.at(1, 0, 0, 0), std::out_of_range);
+}
+
+TEST(Tensor4, PaddedReads) {
+  Tensor4f t(1, 1, 2, 2, 1.0F);
+  EXPECT_FLOAT_EQ(t.padded(0, 0, -1, 0), 0.0F);
+  EXPECT_FLOAT_EQ(t.padded(0, 0, 0, -3), 0.0F);
+  EXPECT_FLOAT_EQ(t.padded(0, 0, 2, 0), 0.0F);
+  EXPECT_FLOAT_EQ(t.padded(0, 0, 1, 1), 1.0F);
+}
+
+TEST(Tensor4, MaxAbsDiff) {
+  Tensor4f a(1, 1, 2, 2, 1.0F);
+  Tensor4f b(1, 1, 2, 2, 1.0F);
+  b(0, 0, 1, 1) = -2.0F;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 3.0F);
+  EXPECT_FLOAT_EQ(max_abs(b), 2.0F);
+}
+
+TEST(Tensor4, MaxAbsDiffShapeMismatchThrows) {
+  const Tensor4f a(1, 1, 2, 2);
+  const Tensor4f b(1, 1, 2, 3);
+  EXPECT_THROW(max_abs_diff(a, b), std::invalid_argument);
+}
+
+TEST(Tensor4, Equality) {
+  Tensor4f a(1, 1, 2, 2, 0.5F);
+  Tensor4f b = a;
+  EXPECT_EQ(a, b);
+  b(0, 0, 0, 0) = 0.25F;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace wino::tensor

@@ -1,0 +1,234 @@
+#include "winograd/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "conv/spatial.hpp"
+
+namespace wino::winograd {
+namespace {
+
+using common::Rng;
+using conv::conv2d_spatial;
+using tensor::Tensor4f;
+
+Tensor4f random_tensor(std::size_t n, std::size_t c, std::size_t h,
+                       std::size_t w, Rng& rng) {
+  Tensor4f t(n, c, h, w);
+  rng.fill_uniform(t.flat());
+  return t;
+}
+
+// Error tolerance scaled to data magnitude; higher-order transforms have
+// larger constants and thus larger float error.
+float tol_for(int m) { return m <= 4 ? 2e-4F : 5e-3F; }
+
+TEST(TileTransformer, OneDMatchesDirectCorrelation) {
+  Rng rng;
+  for (int m = 2; m <= 7; ++m) {
+    const TileTransformer xf(transforms(m, 3));
+    const auto n = static_cast<std::size_t>(xf.tile());
+    std::vector<float> d(n);
+    std::vector<float> g(3);
+    std::vector<float> y(static_cast<std::size_t>(m));
+    rng.fill_uniform(d);
+    rng.fill_uniform(g);
+    xf.convolve_1d(d, g, y);
+    for (std::size_t k = 0; k < y.size(); ++k) {
+      float want = 0.0F;
+      for (std::size_t j = 0; j < 3; ++j) want += g[j] * d[k + j];
+      EXPECT_NEAR(y[k], want, tol_for(m)) << "m=" << m << " k=" << k;
+    }
+  }
+}
+
+TEST(TileTransformer, TileConvolutionMatchesSpatialSingleTile) {
+  Rng rng;
+  for (int m = 2; m <= 5; ++m) {
+    const TileTransformer xf(transforms(m, 3));
+    const auto n = static_cast<std::size_t>(xf.tile());
+    const auto mm = static_cast<std::size_t>(m);
+    std::vector<float> d(n * n);
+    std::vector<float> g(9);
+    std::vector<float> y(mm * mm);
+    rng.fill_uniform(d);
+    rng.fill_uniform(g);
+    xf.convolve_tile(d, g, y);
+    for (std::size_t oy = 0; oy < mm; ++oy) {
+      for (std::size_t ox = 0; ox < mm; ++ox) {
+        float want = 0.0F;
+        for (std::size_t u = 0; u < 3; ++u) {
+          for (std::size_t v = 0; v < 3; ++v) {
+            want += d[(oy + u) * n + (ox + v)] * g[u * 3 + v];
+          }
+        }
+        EXPECT_NEAR(y[oy * mm + ox], want, tol_for(m)) << "m=" << m;
+      }
+    }
+  }
+}
+
+TEST(TileTransformer, FilterTransformIdentityKernel) {
+  // A centre-tap delta kernel convolved with anything returns the centre
+  // crop; checks transform_filter and inverse wiring end to end.
+  const TileTransformer xf(transforms(2, 3));
+  std::vector<float> g(9, 0.0F);
+  g[4] = 1.0F;  // centre tap
+  std::vector<float> d(16);
+  for (std::size_t i = 0; i < d.size(); ++i) d[i] = static_cast<float>(i);
+  std::vector<float> y(4);
+  xf.convolve_tile(d, g, y);
+  EXPECT_NEAR(y[0], d[1 * 4 + 1], 1e-4F);
+  EXPECT_NEAR(y[1], d[1 * 4 + 2], 1e-4F);
+  EXPECT_NEAR(y[2], d[2 * 4 + 1], 1e-4F);
+  EXPECT_NEAR(y[3], d[2 * 4 + 2], 1e-4F);
+}
+
+struct LayerCase {
+  int m;
+  std::size_t h, w, c, k;
+  int pad;
+};
+
+class WinogradLayerConv : public ::testing::TestWithParam<LayerCase> {};
+
+TEST_P(WinogradLayerConv, MatchesSpatialConvolution) {
+  const auto p = GetParam();
+  Rng rng(p.m * 1000 + p.h);
+  const Tensor4f input = random_tensor(1, p.c, p.h, p.w, rng);
+  const Tensor4f kernels = random_tensor(p.k, p.c, 3, 3, rng);
+
+  const Tensor4f ref =
+      conv2d_spatial(input, kernels, {.pad = p.pad, .stride = 1});
+  WinogradConvOptions opt;
+  opt.pad = p.pad;
+  const Tensor4f fast = conv2d_winograd(input, kernels, p.m, opt);
+
+  ASSERT_EQ(fast.shape(), ref.shape());
+  const float scale = std::max(1.0F, tensor::max_abs(ref));
+  EXPECT_LE(tensor::max_abs_diff(fast, ref) / scale, tol_for(p.m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WinogradLayerConv,
+    ::testing::Values(
+        // Exact multiples of m, with and without padding.
+        LayerCase{2, 8, 8, 3, 4, 1}, LayerCase{2, 8, 8, 1, 1, 0},
+        LayerCase{3, 11, 11, 2, 3, 1}, LayerCase{4, 10, 10, 4, 2, 1},
+        LayerCase{4, 6, 6, 1, 1, 0},
+        // Ragged sizes exercising edge-tile clipping.
+        LayerCase{2, 7, 9, 2, 2, 1}, LayerCase{3, 7, 5, 3, 2, 1},
+        LayerCase{4, 9, 7, 2, 2, 1}, LayerCase{5, 13, 11, 2, 2, 1},
+        LayerCase{6, 14, 9, 1, 2, 1}, LayerCase{7, 15, 10, 2, 1, 1},
+        // Non-square images.
+        LayerCase{2, 4, 16, 2, 2, 1}, LayerCase{4, 16, 4, 2, 2, 0}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return "m" + std::to_string(p.m) + "_h" + std::to_string(p.h) + "w" +
+             std::to_string(p.w) + "c" + std::to_string(p.c) + "k" +
+             std::to_string(p.k) + "p" + std::to_string(p.pad);
+    });
+
+TEST(WinogradLayer, FiveByFiveKernelsMatchSpatial) {
+  // AlexNet's conv2 regime: r = 5, pad = 2 (see nn::alexnet()). The
+  // generator, tiling and padding logic must all be r-generic.
+  Rng rng(55);
+  const Tensor4f input = random_tensor(1, 3, 13, 13, rng);
+  const Tensor4f kernels = random_tensor(2, 3, 5, 5, rng);
+  const Tensor4f ref =
+      conv2d_spatial(input, kernels, {.pad = 2, .stride = 1});
+  for (const int m : {2, 4}) {
+    WinogradConvOptions opt;
+    opt.pad = 2;
+    const TileTransformer xf(transforms(m, 5));
+    const Tensor4f fast = conv2d_winograd(input, kernels, xf, opt);
+    ASSERT_EQ(fast.shape(), ref.shape()) << "m=" << m;
+    const float scale = std::max(1.0F, tensor::max_abs(ref));
+    EXPECT_LE(tensor::max_abs_diff(fast, ref) / scale, 2e-3F) << "m=" << m;
+  }
+}
+
+TEST(WinogradLayer, AccumulationOrdersAgree) {
+  // Transform-domain accumulation (software) and post-inverse accumulation
+  // (the paper's hardware, Fig 7) must agree by linearity of A^T . A.
+  Rng rng(99);
+  const Tensor4f input = random_tensor(1, 5, 12, 12, rng);
+  const Tensor4f kernels = random_tensor(3, 5, 3, 3, rng);
+  WinogradConvOptions a;
+  a.pad = 1;
+  a.accumulation = AccumulationOrder::kTransformDomain;
+  WinogradConvOptions b;
+  b.pad = 1;
+  b.accumulation = AccumulationOrder::kPostInverse;
+  const Tensor4f ya = conv2d_winograd(input, kernels, 3, a);
+  const Tensor4f yb = conv2d_winograd(input, kernels, 3, b);
+  const float scale = std::max(1.0F, tensor::max_abs(ya));
+  EXPECT_LE(tensor::max_abs_diff(ya, yb) / scale, 1e-4F);
+}
+
+TEST(WinogradLayer, BatchedInputsIndependent) {
+  Rng rng(7);
+  const Tensor4f batch = random_tensor(3, 2, 8, 8, rng);
+  const Tensor4f kernels = random_tensor(2, 2, 3, 3, rng);
+  WinogradConvOptions opt;
+  opt.pad = 1;
+  const Tensor4f all = conv2d_winograd(batch, kernels, 2, opt);
+
+  // Each image processed alone must equal its slice of the batch result.
+  for (std::size_t img = 0; img < 3; ++img) {
+    Tensor4f one(1, 2, 8, 8);
+    for (std::size_t c = 0; c < 2; ++c) {
+      for (std::size_t y = 0; y < 8; ++y) {
+        for (std::size_t x = 0; x < 8; ++x) {
+          one(0, c, y, x) = batch(img, c, y, x);
+        }
+      }
+    }
+    const Tensor4f single = conv2d_winograd(one, kernels, 2, opt);
+    for (std::size_t k = 0; k < 2; ++k) {
+      for (std::size_t y = 0; y < 8; ++y) {
+        for (std::size_t x = 0; x < 8; ++x) {
+          EXPECT_FLOAT_EQ(single(0, k, y, x), all(img, k, y, x));
+        }
+      }
+    }
+  }
+}
+
+TEST(WinogradLayer, RejectsChannelMismatch) {
+  const Tensor4f input(1, 3, 8, 8);
+  const Tensor4f kernels(2, 4, 3, 3);
+  EXPECT_THROW(conv2d_winograd(input, kernels, 2), std::invalid_argument);
+}
+
+TEST(WinogradLayer, RejectsTooSmallInput) {
+  const Tensor4f input(1, 1, 2, 2);
+  const Tensor4f kernels(1, 1, 3, 3);
+  WinogradConvOptions opt;  // no padding: 2x2 input cannot fit a 3x3 kernel
+  EXPECT_THROW(conv2d_winograd(input, kernels, 2, opt),
+               std::invalid_argument);
+}
+
+TEST(TransformedKernels, LayoutAndValues) {
+  Rng rng(3);
+  const TileTransformer xf(transforms(2, 3));
+  const Tensor4f kernels = random_tensor(2, 3, 3, 3, rng);
+  const TransformedKernels tk(xf, kernels);
+  EXPECT_EQ(tk.kernel_count(), 2u);
+  EXPECT_EQ(tk.channels(), 3u);
+
+  // Spot-check one (k, c) against a direct transform.
+  std::vector<float> g(9);
+  for (std::size_t u = 0; u < 3; ++u) {
+    for (std::size_t v = 0; v < 3; ++v) g[u * 3 + v] = kernels(1, 2, u, v);
+  }
+  std::vector<float> want(16);
+  xf.transform_filter(g, want);
+  const auto got = tk.v(1, 2);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_FLOAT_EQ(got[i], want[i]);
+  }
+}
+
+}  // namespace
+}  // namespace wino::winograd

@@ -1,0 +1,162 @@
+#include "winograd/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "winograd/cook_toom.hpp"
+#include "winograd/op_report.hpp"
+
+namespace wino::winograd {
+namespace {
+
+using common::Matrix;
+using common::Rational;
+
+// Programs must compute exactly the defining matrix-vector product (up to
+// float rounding; here entries are small so results are exact in double).
+void expect_program_matches_matrix(const Matrix<Rational>& m, bool cse) {
+  const LinearProgram p = LinearProgram::from_matrix(m, cse);
+  ASSERT_EQ(p.inputs(), m.cols());
+  ASSERT_EQ(p.outputs(), m.rows());
+  common::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> in(m.cols());
+    for (auto& v : in) v = rng.uniform_int(-8, 8);
+    std::vector<double> got(m.rows());
+    p.execute(in, got);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      double want = 0.0;
+      for (std::size_t c = 0; c < m.cols(); ++c) {
+        want += m(r, c).to_double() * in[c];
+      }
+      EXPECT_NEAR(got[r], want, 1e-9) << "row " << r << " cse=" << cse;
+    }
+  }
+}
+
+TEST(LinearProgram, NaiveMatchesMatrix) {
+  expect_program_matches_matrix(cook_toom(2, 3).bt, false);
+  expect_program_matches_matrix(cook_toom(4, 3).g, false);
+  expect_program_matches_matrix(cook_toom(4, 3).at, false);
+}
+
+TEST(LinearProgram, CseMatchesMatrix) {
+  for (int m = 2; m <= 7; ++m) {
+    const TransformSet t = cook_toom(m, 3);
+    expect_program_matches_matrix(t.bt, true);
+    expect_program_matches_matrix(t.g, true);
+    expect_program_matches_matrix(t.at, true);
+  }
+}
+
+TEST(LinearProgram, ZeroRowYieldsZero) {
+  Matrix<Rational> m(2, 3);
+  m(1, 0) = Rational(1);
+  const LinearProgram p = LinearProgram::from_matrix(m, true);
+  std::vector<double> in{3.0, 4.0, 5.0};
+  std::vector<double> out(2);
+  p.execute(in, out);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+}
+
+TEST(LinearProgram, AllNegativeRowUsesSingleNegation) {
+  const Matrix<Rational> m{{-1, -1, -1}};
+  const LinearProgram p = LinearProgram::from_matrix(m, true);
+  EXPECT_EQ(p.counts().adds, 2u);
+  EXPECT_EQ(p.counts().negs, 1u);
+  std::vector<double> in{1.0, 2.0, 3.0};
+  std::vector<double> out(1);
+  p.execute(in, out);
+  EXPECT_DOUBLE_EQ(out[0], -6.0);
+}
+
+TEST(LinearProgram, LavinF23DataTransformCosts4Adds) {
+  // B^T rows of F(2,3) each cost one add: the canonical 4-add transform.
+  const LinearProgram p =
+      LinearProgram::from_matrix(lavin_f2x2_3x3().bt, true);
+  EXPECT_EQ(p.counts().adds, 4u);
+  EXPECT_EQ(p.counts().shifts, 0u);
+  EXPECT_EQ(p.counts().const_mults, 0u);
+}
+
+TEST(LinearProgram, LavinF23InverseTransformCosts4Adds) {
+  const LinearProgram p =
+      LinearProgram::from_matrix(lavin_f2x2_3x3().at, true);
+  EXPECT_EQ(p.counts().adds, 4u);
+  EXPECT_EQ(p.counts().const_mults, 0u);
+}
+
+TEST(LinearProgram, LavinF23FilterTransformSharesG0PlusG2) {
+  // Rows (g0 +- g1 + g2)/2 share g0+g2: 3 adds + 2 halvings (shifts).
+  const LinearProgram p = LinearProgram::from_matrix(lavin_f2x2_3x3().g, true);
+  EXPECT_EQ(p.counts().adds, 3u);
+  EXPECT_EQ(p.counts().shifts, 2u);
+  EXPECT_EQ(p.counts().const_mults, 0u);
+}
+
+TEST(LinearProgram, CseNeverCostsMoreThanNaive) {
+  for (int m = 2; m <= 7; ++m) {
+    const TransformSet t = cook_toom(m, 3);
+    for (const auto* mat : {&t.bt, &t.g, &t.at}) {
+      const auto naive = LinearProgram::from_matrix(*mat, false).counts();
+      const auto cse = LinearProgram::from_matrix(*mat, true).counts();
+      EXPECT_LE(cse.flops(), naive.flops())
+          << "m=" << m << " rows=" << mat->rows();
+    }
+  }
+}
+
+TEST(LinearProgram, DagDepthPositiveAndBounded) {
+  const LinearProgram p =
+      LinearProgram::from_matrix(cook_toom(4, 3).bt, true);
+  EXPECT_GE(p.dag_depth(), 1u);
+  // Depth can never exceed the op count.
+  EXPECT_LE(p.dag_depth(), p.ops().size());
+}
+
+TEST(LinearProgram, PowerOfTwoConstantsClassifiedAsShifts) {
+  const Matrix<Rational> m{{Rational(4), Rational(1, 2)},
+                           {Rational(3), Rational(0)}};
+  const LinearProgram p = LinearProgram::from_matrix(m, false);
+  EXPECT_EQ(p.counts().shifts, 2u);       // *4 and *1/2
+  EXPECT_EQ(p.counts().const_mults, 1u);  // *3
+}
+
+TEST(OpReport, TwoDCountsScaleFromOneD) {
+  const TransformOpReport rep = transform_op_report(2, 3);
+  const auto n = 4u;  // tile
+  EXPECT_EQ(rep.data_2d.adds, rep.data_1d.adds * 2 * n);
+  EXPECT_EQ(rep.inverse_2d.adds, rep.inverse_1d.adds * (n + 2));
+  EXPECT_EQ(rep.filter_2d.adds, rep.filter_1d.adds * (n + 3));
+}
+
+TEST(OpReport, F23MatchesLavinPublishedBetaDelta) {
+  // Lavin's Table: beta = 32, delta = 24 for F(2x2, 3x3).
+  const TransformOpReport rep = transform_op_report(2, 3);
+  EXPECT_EQ(rep.beta(), 32u);
+  EXPECT_EQ(rep.delta(), 24u);
+}
+
+TEST(OpReport, ComplexityGrowsWithM) {
+  std::size_t prev_beta = 0;
+  std::size_t prev_delta = 0;
+  for (int m = 2; m <= 7; ++m) {
+    const TransformOpReport rep = transform_op_report(m, 3);
+    EXPECT_GT(rep.beta(), prev_beta) << "m=" << m;
+    EXPECT_GT(rep.delta(), prev_delta) << "m=" << m;
+    prev_beta = rep.beta();
+    prev_delta = rep.delta();
+  }
+}
+
+TEST(OpReport, ToStringListsOps) {
+  const LinearProgram p =
+      LinearProgram::from_matrix(lavin_f2x2_3x3().bt, true);
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find("outputs:"), std::string::npos);
+  EXPECT_NE(s.find(" - "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wino::winograd
