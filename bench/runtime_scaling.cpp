@@ -1,0 +1,118 @@
+// Single- vs multi-thread throughput of the runtime-threaded hot paths:
+// nn::forward on a VGG-style conv stack (batch-parallel), one VGG conv
+// layer per backend (channel-parallel), and the cycle-level hw engine
+// (tile-parallel). Also asserts the determinism contract: every thread
+// count must produce bit-identical outputs.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "hw/engine_config.hpp"
+#include "hw/winograd_engine.hpp"
+#include "nn/forward.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using wino::tensor::Tensor4f;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Time one call of `fn`, which returns the output tensor for verification.
+template <typename Fn>
+std::pair<double, Tensor4f> timed(Fn&& fn) {
+  const auto t0 = Clock::now();
+  Tensor4f out = fn();
+  return {seconds_since(t0), std::move(out)};
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::size_t> thread_counts = {1, 2, 4};
+
+  // --- Batch-parallel forward on a scaled VGG16-D stack ------------------
+  const auto layers = wino::nn::vgg16_d_scaled(7, 8);  // 32x32 input
+  const auto weights = wino::nn::random_weights(layers, 7);
+  constexpr std::size_t kBatch = 8;
+  wino::common::Rng rng(11);
+  Tensor4f batch(kBatch, 3, 32, 32);
+  rng.fill_uniform(batch.flat(), -1.0F, 1.0F);
+
+  std::printf("runtime_scaling — threads vs throughput (1 CPU core caps\n");
+  std::printf("real speedup at the machine's core count)\n\n");
+
+  wino::common::TextTable fwd;
+  fwd.header({"Threads", "forward img/s", "speedup", "max|diff| vs 1T"});
+  double fwd_base = 0;
+  Tensor4f fwd_ref;
+  double fwd_speedup_at4 = 0;
+  for (const std::size_t t : thread_counts) {
+    wino::runtime::ThreadPool::set_global_threads(t);
+    auto [sec, out] = timed([&] {
+      return wino::nn::forward(layers, weights, batch,
+                               wino::nn::ConvAlgo::kIm2col);
+    });
+    if (t == 1) {
+      fwd_base = sec;
+      fwd_ref = out;
+    }
+    const double diff = wino::tensor::max_abs_diff(fwd_ref, out);
+    if (t == 4) fwd_speedup_at4 = fwd_base / sec;
+    fwd.row({std::to_string(t),
+             wino::common::TextTable::num(static_cast<double>(kBatch) / sec),
+             wino::common::TextTable::num(fwd_base / sec),
+             wino::common::TextTable::num(diff, 6)});
+    if (diff != 0.0F) {
+      std::printf("DETERMINISM VIOLATION at %zu threads\n", t);
+      return 1;
+    }
+  }
+  fwd.print();
+  std::printf("\n");
+
+  // --- Tile-parallel cycle-level engine on one VGG-ish layer -------------
+  Tensor4f input(1, 32, 56, 56);
+  Tensor4f kernels(32, 32, 3, 3);
+  rng.fill_uniform(input.flat(), -1.0F, 1.0F);
+  rng.fill_normal(kernels.flat(), 0.0F, 0.1F);
+  wino::hw::EngineConfig cfg;
+  cfg.m = 4;
+  cfg.r = 3;
+  cfg.parallel_pes = 8;
+  const wino::hw::WinogradEngine engine(cfg);
+
+  wino::common::TextTable hw;
+  hw.header({"Threads", "engine runs/s", "speedup", "max|diff| vs 1T"});
+  double hw_base = 0;
+  Tensor4f hw_ref;
+  for (const std::size_t t : thread_counts) {
+    wino::runtime::ThreadPool::set_global_threads(t);
+    auto [sec, out] = timed([&] {
+      return engine.run_layer(input, kernels, 1).output;
+    });
+    if (t == 1) {
+      hw_base = sec;
+      hw_ref = out;
+    }
+    const double diff = wino::tensor::max_abs_diff(hw_ref, out);
+    hw.row({std::to_string(t), wino::common::TextTable::num(1.0 / sec),
+            wino::common::TextTable::num(hw_base / sec),
+            wino::common::TextTable::num(diff, 6)});
+    if (diff != 0.0F) {
+      std::printf("DETERMINISM VIOLATION at %zu threads\n", t);
+      return 1;
+    }
+  }
+  hw.print();
+  std::printf("\n");
+
+  std::printf("forward speedup at 4 threads: %.2fx\n", fwd_speedup_at4);
+  return 0;
+}

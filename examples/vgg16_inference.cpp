@@ -6,9 +6,10 @@
 // verifying that the logits agree and reporting wall-clock time per
 // algorithm — the software analogue of the paper's engine comparison.
 //
-// Usage: ./examples/vgg16_inference [scale] [channel_div]
+// Usage: ./examples/vgg16_inference [scale] [channel_div] [threads]
 //   scale       divides the 224x224 input (default 7 -> 32x32)
 //   channel_div divides the channel counts (default 8)
+//   threads     runtime thread-pool size (default: WINO_THREADS or cores)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -16,12 +17,23 @@
 #include "common/random.hpp"
 #include "common/table.hpp"
 #include "nn/forward.hpp"
+#include "runtime/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   const std::size_t scale =
       argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 7;
   const std::size_t channel_div =
       argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 8;
+  if (argc > 3) {
+    const int threads = std::atoi(argv[3]);
+    if (threads < 1) {
+      std::fprintf(stderr, "threads must be a positive integer, got '%s'\n",
+                   argv[3]);
+      return 1;
+    }
+    wino::runtime::ThreadPool::set_global_threads(
+        static_cast<std::size_t>(threads));
+  }
 
   const auto layers = wino::nn::vgg16_d_scaled(scale, channel_div);
   const auto weights = wino::nn::random_weights(layers, 42);
@@ -31,9 +43,9 @@ int main(int argc, char** argv) {
   rng.fill_uniform(input.flat());
 
   std::printf("VGG16-D (scaled 1/%zu, channels 1/%zu): input %zux%zu, "
-              "%zu layers\n\n",
+              "%zu layers, %zu threads\n\n",
               scale, channel_div, input.shape().h, input.shape().w,
-              layers.size());
+              layers.size(), wino::runtime::ThreadPool::global().threads());
 
   using Clock = std::chrono::steady_clock;
   const auto run = [&](wino::nn::ConvAlgo algo) {

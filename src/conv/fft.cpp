@@ -3,6 +3,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "runtime/thread_pool.hpp"
+
 namespace wino::conv {
 
 using tensor::Tensor4f;
@@ -73,8 +75,10 @@ Tensor4f conv2d_fft(const Tensor4f& input, const Tensor4f& kernels,
   }
   if (ks.h != ks.w) throw std::invalid_argument("conv2d_fft: non-square");
   const std::size_t r = ks.h;
-  const std::size_t out_h = conv_out_extent(is.h, r, opt.pad, opt.stride);
-  const std::size_t out_w = conv_out_extent(is.w, r, opt.pad, opt.stride);
+  const int pad_h = opt.eff_pad_h();
+  const int pad_w = opt.eff_pad_w();
+  const std::size_t out_h = conv_out_extent(is.h, r, pad_h, opt.stride);
+  const std::size_t out_w = conv_out_extent(is.w, r, pad_w, opt.stride);
 
   const std::size_t fft_size = next_pow2(std::max(is.h, is.w) + r - 1);
   const std::size_t grid = fft_size * fft_size;
@@ -82,25 +86,24 @@ Tensor4f conv2d_fft(const Tensor4f& input, const Tensor4f& kernels,
   // Pre-transform all kernels, spatially flipped so the frequency-domain
   // product implements cross-correlation.
   std::vector<std::vector<Cplx>> kernel_f(ks.n * ks.c);
-  for (std::size_t k = 0; k < ks.n; ++k) {
-    for (std::size_t c = 0; c < ks.c; ++c) {
-      auto& buf = kernel_f[k * ks.c + c];
-      buf.assign(grid, Cplx{});
-      for (std::size_t u = 0; u < r; ++u) {
-        for (std::size_t v = 0; v < r; ++v) {
-          buf[(r - 1 - u) * fft_size + (r - 1 - v)] =
-              static_cast<double>(kernels(k, c, u, v));
-        }
+  runtime::parallel_for_each(ks.n * ks.c, [&](std::size_t kc) {
+    const std::size_t k = kc / ks.c;
+    const std::size_t c = kc % ks.c;
+    auto& buf = kernel_f[kc];
+    buf.assign(grid, Cplx{});
+    for (std::size_t u = 0; u < r; ++u) {
+      for (std::size_t v = 0; v < r; ++v) {
+        buf[(r - 1 - u) * fft_size + (r - 1 - v)] =
+            static_cast<double>(kernels(k, c, u, v));
       }
-      fft2d(buf, fft_size, false);
     }
-  }
+    fft2d(buf, fft_size, false);
+  });
 
   Tensor4f out(is.n, ks.n, out_h, out_w);
   std::vector<std::vector<Cplx>> input_f(is.c);
-  std::vector<Cplx> acc(grid);
   for (std::size_t img = 0; img < is.n; ++img) {
-    for (std::size_t c = 0; c < is.c; ++c) {
+    runtime::parallel_for_each(is.c, [&](std::size_t c) {
       auto& buf = input_f[c];
       buf.assign(grid, Cplx{});
       for (std::size_t y = 0; y < is.h; ++y) {
@@ -109,29 +112,45 @@ Tensor4f conv2d_fft(const Tensor4f& input, const Tensor4f& kernels,
         }
       }
       fft2d(buf, fft_size, false);
-    }
-    for (std::size_t k = 0; k < ks.n; ++k) {
-      std::fill(acc.begin(), acc.end(), Cplx{});
-      for (std::size_t c = 0; c < is.c; ++c) {
-        const auto& df = input_f[c];
-        const auto& gf = kernel_f[k * ks.c + c];
-        for (std::size_t i = 0; i < grid; ++i) acc[i] += df[i] * gf[i];
-      }
-      fft2d(acc, fft_size, true);
-      // Linear convolution with the flipped kernel puts correlation output
-      // (0,0) at index (r-1-pad, r-1-pad).
-      const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(r) - 1 - opt.pad;
-      for (std::size_t oy = 0; oy < out_h; ++oy) {
-        for (std::size_t ox = 0; ox < out_w; ++ox) {
-          const auto iy = static_cast<std::size_t>(
-              off + static_cast<std::ptrdiff_t>(oy) * opt.stride);
-          const auto ix = static_cast<std::size_t>(
-              off + static_cast<std::ptrdiff_t>(ox) * opt.stride);
-          out(img, k, oy, ox) =
-              static_cast<float>(acc[iy * fft_size + ix].real());
+    });
+    // Output channels are independent; the accumulator is per-chunk scratch
+    // and the channel reduction order inside each k is unchanged.
+    runtime::parallel_for(ks.n, [&](std::size_t k_begin, std::size_t k_end) {
+      std::vector<Cplx> acc(grid);
+      for (std::size_t k = k_begin; k < k_end; ++k) {
+        std::fill(acc.begin(), acc.end(), Cplx{});
+        for (std::size_t c = 0; c < is.c; ++c) {
+          const auto& df = input_f[c];
+          const auto& gf = kernel_f[k * ks.c + c];
+          for (std::size_t i = 0; i < grid; ++i) acc[i] += df[i] * gf[i];
+        }
+        fft2d(acc, fft_size, true);
+        // Linear convolution with the flipped kernel puts correlation
+        // output (0,0) at index (r-1-pad_h, r-1-pad_w).
+        const std::ptrdiff_t off_y =
+            static_cast<std::ptrdiff_t>(r) - 1 - pad_h;
+        const std::ptrdiff_t off_x =
+            static_cast<std::ptrdiff_t>(r) - 1 - pad_w;
+        // Samples outside the linear-convolution support (possible when
+        // pad > r-1) are zero, matching conv2d_spatial's zero padding.
+        const auto bound = static_cast<std::ptrdiff_t>(fft_size);
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            const std::ptrdiff_t iy =
+                off_y + static_cast<std::ptrdiff_t>(oy) * opt.stride;
+            const std::ptrdiff_t ix =
+                off_x + static_cast<std::ptrdiff_t>(ox) * opt.stride;
+            out(img, k, oy, ox) =
+                (iy < 0 || iy >= bound || ix < 0 || ix >= bound)
+                    ? 0.0F
+                    : static_cast<float>(
+                          acc[static_cast<std::size_t>(iy) * fft_size +
+                              static_cast<std::size_t>(ix)]
+                              .real());
+          }
         }
       }
-    }
+    });
   }
   return out;
 }

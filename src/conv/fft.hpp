@@ -29,7 +29,10 @@ void fft2d(std::span<std::complex<double>> grid, std::size_t size,
 
 /// Convolution computed per (image, k): accumulate over channels in the
 /// frequency domain, one inverse FFT per output plane. Kernels are flipped
-/// internally so the result matches cross-correlation conv2d_spatial.
+/// internally so the result matches cross-correlation conv2d_spatial for
+/// any stride and (possibly asymmetric) padding. Kernel transforms, input
+/// transforms and output channels run in parallel on the runtime's global
+/// ThreadPool with unchanged numerics.
 tensor::Tensor4f conv2d_fft(const tensor::Tensor4f& input,
                             const tensor::Tensor4f& kernels,
                             const SpatialConvOptions& opt = {});

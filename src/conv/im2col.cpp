@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/thread_pool.hpp"
+
 namespace wino::conv {
 
 using tensor::Tensor4f;
@@ -15,48 +17,53 @@ void gemm(std::span<const float> a, std::span<const float> b,
     throw std::invalid_argument("gemm: size mismatch");
   }
   std::fill(c.begin(), c.end(), 0.0F);
-  // ikj loop order keeps the B row hot and vectorisable.
-  for (std::size_t i = 0; i < rows; ++i) {
-    for (std::size_t k = 0; k < inner; ++k) {
-      const float aik = a[i * inner + k];
-      if (aik == 0.0F) continue;
-      const float* brow = &b[k * cols];
-      float* crow = &c[i * cols];
-      for (std::size_t j = 0; j < cols; ++j) crow[j] += aik * brow[j];
+  // Each output row of C is an independent dot-product sweep, so the row
+  // loop is parallel; the inner ikj order keeps the B row hot and
+  // vectorisable, and per-row numerics are unchanged by threading.
+  runtime::parallel_for(rows, [&](std::size_t row_begin, std::size_t row_end) {
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      for (std::size_t k = 0; k < inner; ++k) {
+        const float aik = a[i * inner + k];
+        if (aik == 0.0F) continue;
+        const float* brow = &b[k * cols];
+        float* crow = &c[i * cols];
+        for (std::size_t j = 0; j < cols; ++j) crow[j] += aik * brow[j];
+      }
     }
-  }
+  });
 }
 
 void im2col(const Tensor4f& input, std::size_t image, std::size_t r, int pad,
             int stride, std::span<float> out_patches) {
+  im2col(input, image, r, pad, pad, stride, out_patches);
+}
+
+void im2col(const Tensor4f& input, std::size_t image, std::size_t r,
+            int pad_h, int pad_w, int stride, std::span<float> out_patches) {
   const auto& is = input.shape();
-  const std::size_t out_h = conv_out_extent(is.h, r, pad, stride);
-  const std::size_t out_w = conv_out_extent(is.w, r, pad, stride);
+  const std::size_t out_h = conv_out_extent(is.h, r, pad_h, stride);
+  const std::size_t out_w = conv_out_extent(is.w, r, pad_w, stride);
   const std::size_t patch_rows = is.c * r * r;
   const std::size_t patch_cols = out_h * out_w;
   if (out_patches.size() != patch_rows * patch_cols) {
     throw std::invalid_argument("im2col: output span size mismatch");
   }
-  std::size_t row = 0;
-  for (std::size_t c = 0; c < is.c; ++c) {
-    for (std::size_t u = 0; u < r; ++u) {
-      for (std::size_t v = 0; v < r; ++v, ++row) {
-        std::size_t col = 0;
-        for (std::size_t oy = 0; oy < out_h; ++oy) {
-          const std::ptrdiff_t iy =
-              static_cast<std::ptrdiff_t>(oy) * stride +
-              static_cast<std::ptrdiff_t>(u) - pad;
-          for (std::size_t ox = 0; ox < out_w; ++ox, ++col) {
-            const std::ptrdiff_t ix =
-                static_cast<std::ptrdiff_t>(ox) * stride +
-                static_cast<std::ptrdiff_t>(v) - pad;
-            out_patches[row * patch_cols + col] =
-                input.padded(image, c, iy, ix);
-          }
-        }
+  // One patch row per (c, u, v); rows write disjoint slices of the output.
+  runtime::parallel_for_each(patch_rows, [&](std::size_t row) {
+    const std::size_t c = row / (r * r);
+    const std::size_t u = (row / r) % r;
+    const std::size_t v = row % r;
+    std::size_t col = 0;
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+      const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy) * stride +
+                                static_cast<std::ptrdiff_t>(u) - pad_h;
+      for (std::size_t ox = 0; ox < out_w; ++ox, ++col) {
+        const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox) * stride +
+                                  static_cast<std::ptrdiff_t>(v) - pad_w;
+        out_patches[row * patch_cols + col] = input.padded(image, c, iy, ix);
       }
     }
-  }
+  });
 }
 
 Tensor4f conv2d_im2col(const Tensor4f& input, const Tensor4f& kernels,
@@ -70,8 +77,10 @@ Tensor4f conv2d_im2col(const Tensor4f& input, const Tensor4f& kernels,
     throw std::invalid_argument("conv2d_im2col: non-square kernel");
   }
   const std::size_t r = ks.h;
-  const std::size_t out_h = conv_out_extent(is.h, r, opt.pad, opt.stride);
-  const std::size_t out_w = conv_out_extent(is.w, r, opt.pad, opt.stride);
+  const int pad_h = opt.eff_pad_h();
+  const int pad_w = opt.eff_pad_w();
+  const std::size_t out_h = conv_out_extent(is.h, r, pad_h, opt.stride);
+  const std::size_t out_w = conv_out_extent(is.w, r, pad_w, opt.stride);
   const std::size_t inner = is.c * r * r;
   const std::size_t cols = out_h * out_w;
 
@@ -83,7 +92,7 @@ Tensor4f conv2d_im2col(const Tensor4f& input, const Tensor4f& kernels,
   std::vector<float> patches(inner * cols);
   std::vector<float> result(ks.n * cols);
   for (std::size_t img = 0; img < is.n; ++img) {
-    im2col(input, img, r, opt.pad, opt.stride, patches);
+    im2col(input, img, r, pad_h, pad_w, opt.stride, patches);
     gemm(a, patches, result, ks.n, inner, cols);
     for (std::size_t k = 0; k < ks.n; ++k) {
       for (std::size_t i = 0; i < cols; ++i) {

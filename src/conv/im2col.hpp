@@ -22,6 +22,10 @@ void gemm(std::span<const float> a, std::span<const float> b,
 void im2col(const tensor::Tensor4f& input, std::size_t image, std::size_t r,
             int pad, int stride, std::span<float> out_patches);
 
+/// im2col with per-dimension (possibly asymmetric) padding.
+void im2col(const tensor::Tensor4f& input, std::size_t image, std::size_t r,
+            int pad_h, int pad_w, int stride, std::span<float> out_patches);
+
 /// Convolution via im2col lowering; numerically equivalent to
 /// conv2d_spatial up to float accumulation order.
 tensor::Tensor4f conv2d_im2col(const tensor::Tensor4f& input,

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "runtime/thread_pool.hpp"
+
 namespace wino::conv {
 
 using tensor::Tensor4f;
@@ -24,33 +26,37 @@ Tensor4f conv2d_spatial(const Tensor4f& input, const Tensor4f& kernels,
   if (ks.c != is.c) {
     throw std::invalid_argument("conv2d_spatial: channel mismatch");
   }
-  const std::size_t out_h = conv_out_extent(is.h, ks.h, opt.pad, opt.stride);
-  const std::size_t out_w = conv_out_extent(is.w, ks.w, opt.pad, opt.stride);
+  const int pad_h = opt.eff_pad_h();
+  const int pad_w = opt.eff_pad_w();
+  const std::size_t out_h = conv_out_extent(is.h, ks.h, pad_h, opt.stride);
+  const std::size_t out_w = conv_out_extent(is.w, ks.w, pad_w, opt.stride);
 
   Tensor4f out(is.n, ks.n, out_h, out_w);
-  for (std::size_t img = 0; img < is.n; ++img) {
-    for (std::size_t k = 0; k < ks.n; ++k) {
-      for (std::size_t oy = 0; oy < out_h; ++oy) {
-        for (std::size_t ox = 0; ox < out_w; ++ox) {
-          float acc = 0.0F;
-          for (std::size_t c = 0; c < is.c; ++c) {
-            for (std::size_t u = 0; u < ks.h; ++u) {
-              const std::ptrdiff_t iy =
-                  static_cast<std::ptrdiff_t>(oy) * opt.stride +
-                  static_cast<std::ptrdiff_t>(u) - opt.pad;
-              for (std::size_t v = 0; v < ks.w; ++v) {
-                const std::ptrdiff_t ix =
-                    static_cast<std::ptrdiff_t>(ox) * opt.stride +
-                    static_cast<std::ptrdiff_t>(v) - opt.pad;
-                acc += input.padded(img, c, iy, ix) * kernels(k, c, u, v);
-              }
+  // Each (image, output channel) pair writes a disjoint output plane, so the
+  // flattened img*k loop is channel/batch parallel with unchanged numerics.
+  runtime::parallel_for_each(is.n * ks.n, [&](std::size_t job) {
+    const std::size_t img = job / ks.n;
+    const std::size_t k = job % ks.n;
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+      for (std::size_t ox = 0; ox < out_w; ++ox) {
+        float acc = 0.0F;
+        for (std::size_t c = 0; c < is.c; ++c) {
+          for (std::size_t u = 0; u < ks.h; ++u) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy) * opt.stride +
+                static_cast<std::ptrdiff_t>(u) - pad_h;
+            for (std::size_t v = 0; v < ks.w; ++v) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox) * opt.stride +
+                  static_cast<std::ptrdiff_t>(v) - pad_w;
+              acc += input.padded(img, c, iy, ix) * kernels(k, c, u, v);
             }
           }
-          out(img, k, oy, ox) = acc;
         }
+        out(img, k, oy, ox) = acc;
       }
     }
-  }
+  });
   return out;
 }
 

@@ -9,12 +9,20 @@ namespace wino::conv {
 struct SpatialConvOptions {
   int pad = 0;     ///< symmetric zero padding
   int stride = 1;  ///< spatial stride (Winograd paths require stride 1)
+  int pad_h = -1;  ///< vertical padding override; -1 means use `pad`
+  int pad_w = -1;  ///< horizontal padding override; -1 means use `pad`
+
+  /// Effective per-dimension padding (asymmetric when pad_h != pad_w).
+  [[nodiscard]] int eff_pad_h() const { return pad_h >= 0 ? pad_h : pad; }
+  [[nodiscard]] int eff_pad_w() const { return pad_w >= 0 ? pad_w : pad; }
 };
 
 /// Cross-correlation of an NCHW input with a KCrr kernel bank (CNN
 /// convention, matching the paper's Eq 1):
 ///   Y[i,k,x,y] = sum_c sum_v sum_u D[i,c,x*s+u-pad,y*s+v-pad] G[k,c,u,v]
-/// Out-of-range reads are zero.
+/// Out-of-range reads are zero. (image, output channel) pairs run in
+/// parallel on the runtime's global ThreadPool; the per-element reduction
+/// order is unchanged, so results are thread-count invariant.
 tensor::Tensor4f conv2d_spatial(const tensor::Tensor4f& input,
                                 const tensor::Tensor4f& kernels,
                                 const SpatialConvOptions& opt = {});

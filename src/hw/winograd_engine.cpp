@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/thread_pool.hpp"
 #include "winograd/kernels.hpp"
 
 namespace wino::hw {
@@ -146,58 +147,71 @@ SimResult WinogradEngine::run_layer(const Tensor4f& input,
   const std::size_t tiles_w = (out_w + mm - 1) / mm;
 
   result.output = Tensor4f(is.n, ks.n, out_h, out_w);
-  std::vector<float> d(nsq);
-  std::vector<float> u(nsq);
-  std::vector<float> prod(nsq);
-  std::vector<float> y(mm * mm);
-  // Per-PE post-inverse accumulation buffers (Fig 7 "Accumulation
-  // Buffers").
-  std::vector<std::vector<float>> acc(p, std::vector<float>(mm * mm));
+  Tensor4f& output = result.output;
 
   for (std::size_t img = 0; img < is.n; ++img) {
     for (std::size_t g = 0; g * p < ks.n; ++g) {
       const std::size_t group_kernels = std::min(p, ks.n - g * p);
-      for (std::size_t th = 0; th < tiles_h; ++th) {
-        for (std::size_t tw = 0; tw < tiles_w; ++tw) {
-          for (auto& a : acc) std::fill(a.begin(), a.end(), 0.0F);
-          const std::ptrdiff_t y0 =
-              static_cast<std::ptrdiff_t>(th * mm) - pad;
-          const std::ptrdiff_t x0 =
-              static_cast<std::ptrdiff_t>(tw * mm) - pad;
-          for (std::size_t c = 0; c < is.c; ++c) {
-            // Shared data transform: once per (tile, channel) issue slot.
-            for (std::size_t i = 0; i < n; ++i) {
-              for (std::size_t j = 0; j < n; ++j) {
-                d[i * n + j] = input.padded(
-                    img, c, y0 + static_cast<std::ptrdiff_t>(i),
-                    x0 + static_cast<std::ptrdiff_t>(j));
+      // Tile positions are independent within a kernel group — each writes
+      // a disjoint out_h x out_w patch per kernel — so the flattened tile
+      // loop is parallel with per-chunk scratch. Per-tile arithmetic stays
+      // in hardware order (channels -> PEs), keeping numerics identical to
+      // the single-threaded engine.
+      runtime::parallel_for(
+          tiles_h * tiles_w,
+          [&](std::size_t tile_begin, std::size_t tile_end) {
+            std::vector<float> d(nsq);
+            std::vector<float> u(nsq);
+            std::vector<float> prod(nsq);
+            std::vector<float> y(mm * mm);
+            // Per-PE post-inverse accumulation buffers (Fig 7 "Accumulation
+            // Buffers").
+            std::vector<std::vector<float>> acc(
+                p, std::vector<float>(mm * mm));
+            for (std::size_t t = tile_begin; t < tile_end; ++t) {
+              const std::size_t th = t / tiles_w;
+              const std::size_t tw = t % tiles_w;
+              for (auto& a : acc) std::fill(a.begin(), a.end(), 0.0F);
+              const std::ptrdiff_t y0 =
+                  static_cast<std::ptrdiff_t>(th * mm) - pad;
+              const std::ptrdiff_t x0 =
+                  static_cast<std::ptrdiff_t>(tw * mm) - pad;
+              for (std::size_t c = 0; c < is.c; ++c) {
+                // Shared data transform: once per (tile, channel) slot.
+                for (std::size_t i = 0; i < n; ++i) {
+                  for (std::size_t j = 0; j < n; ++j) {
+                    d[i * n + j] = input.padded(
+                        img, c, y0 + static_cast<std::ptrdiff_t>(i),
+                        x0 + static_cast<std::ptrdiff_t>(j));
+                  }
+                }
+                xf.transform_data(d, u);
+                // Broadcast U to the PE array.
+                for (std::size_t pe = 0; pe < group_kernels; ++pe) {
+                  const auto v = tk.v(g * p + pe, c);
+                  for (std::size_t i = 0; i < nsq; ++i) {
+                    prod[i] = u[i] * v[i];
+                  }
+                  xf.inverse(prod, y);
+                  auto& a = acc[pe];
+                  for (std::size_t i = 0; i < y.size(); ++i) a[i] += y[i];
+                }
+              }
+              // Writeback with edge clipping.
+              for (std::size_t pe = 0; pe < group_kernels; ++pe) {
+                const std::size_t k = g * p + pe;
+                for (std::size_t i = 0; i < mm; ++i) {
+                  const std::size_t oy = th * mm + i;
+                  if (oy >= out_h) break;
+                  for (std::size_t j = 0; j < mm; ++j) {
+                    const std::size_t ox = tw * mm + j;
+                    if (ox >= out_w) break;
+                    output(img, k, oy, ox) = acc[pe][i * mm + j];
+                  }
+                }
               }
             }
-            xf.transform_data(d, u);
-            // Broadcast U to the PE array.
-            for (std::size_t pe = 0; pe < group_kernels; ++pe) {
-              const auto v = tk.v(g * p + pe, c);
-              for (std::size_t i = 0; i < nsq; ++i) prod[i] = u[i] * v[i];
-              xf.inverse(prod, y);
-              auto& a = acc[pe];
-              for (std::size_t i = 0; i < y.size(); ++i) a[i] += y[i];
-            }
-          }
-          // Writeback with edge clipping.
-          for (std::size_t pe = 0; pe < group_kernels; ++pe) {
-            const std::size_t k = g * p + pe;
-            for (std::size_t i = 0; i < mm; ++i) {
-              const std::size_t oy = th * mm + i;
-              if (oy >= out_h) break;
-              for (std::size_t j = 0; j < mm; ++j) {
-                const std::size_t ox = tw * mm + j;
-                if (ox >= out_w) break;
-                result.output(img, k, oy, ox) = acc[pe][i * mm + j];
-              }
-            }
-          }
-        }
-      }
+          });
     }
   }
   return result;

@@ -1,5 +1,6 @@
 #include "nn/forward.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -7,6 +8,7 @@
 #include "conv/fft.hpp"
 #include "conv/im2col.hpp"
 #include "conv/spatial.hpp"
+#include "runtime/thread_pool.hpp"
 #include "winograd/kernels.hpp"
 
 namespace wino::nn {
@@ -127,9 +129,12 @@ WeightBank random_weights(const std::vector<LayerSpec>& layers,
   return bank;
 }
 
-Tensor4f forward(const std::vector<LayerSpec>& layers,
-                 const WeightBank& weights, const Tensor4f& input,
-                 ConvAlgo algo) {
+namespace {
+
+/// Sequential layer-stack evaluation (any batch size).
+Tensor4f forward_sequential(const std::vector<LayerSpec>& layers,
+                            const WeightBank& weights, const Tensor4f& input,
+                            ConvAlgo algo) {
   Tensor4f act = input;
   std::size_t conv_idx = 0;
   std::size_t fc_idx = 0;
@@ -159,6 +164,48 @@ Tensor4f forward(const std::vector<LayerSpec>& layers,
     }
   }
   return act;
+}
+
+}  // namespace
+
+Tensor4f forward(const std::vector<LayerSpec>& layers,
+                 const WeightBank& weights, const Tensor4f& input,
+                 ConvAlgo algo) {
+  const auto& is = input.shape();
+  // Batch-parallel: every layer treats images independently, so running a
+  // contiguous sub-batch through the stack alone reproduces the batched
+  // result bit-for-bit. Splitting into per-thread sub-batches (not single
+  // images) keeps per-call kernel preprocessing — FFT kernel transforms,
+  // Winograd TransformedKernels — to at most thread-count repeats.
+  if (is.n <= 1) return forward_sequential(layers, weights, input, algo);
+
+  const std::size_t image_volume = is.c * is.h * is.w;
+  std::vector<Tensor4f> per_chunk(is.n);
+  std::vector<std::size_t> chunk_first(is.n, 0);
+  runtime::parallel_for(is.n, [&](std::size_t begin, std::size_t end) {
+    Tensor4f sub(end - begin, is.c, is.h, is.w);
+    const auto src =
+        input.flat().subspan(begin * image_volume, sub.size());
+    std::copy(src.begin(), src.end(), sub.flat().begin());
+    per_chunk[begin] = forward_sequential(layers, weights, sub, algo);
+    chunk_first[begin] = 1;
+  });
+
+  // Chunk results are keyed by their first image index; stitch in order.
+  const Tensor4f* first = nullptr;
+  for (std::size_t i = 0; i < is.n && !first; ++i) {
+    if (chunk_first[i]) first = &per_chunk[i];
+  }
+  const auto& os = first->shape();
+  Tensor4f out(is.n, os.c, os.h, os.w);
+  const std::size_t out_volume = os.c * os.h * os.w;
+  for (std::size_t i = 0; i < is.n; ++i) {
+    if (!chunk_first[i]) continue;
+    const auto src = per_chunk[i].flat();
+    auto dst = out.flat().subspan(i * out_volume, src.size());
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
 }
 
 std::vector<LayerSpec> vgg16_d_scaled(std::size_t scale,

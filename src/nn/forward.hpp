@@ -57,6 +57,10 @@ WeightBank random_weights(const std::vector<LayerSpec>& layers,
 
 /// Run the layer stack; conv layers use `algo`. Input must match the first
 /// layer's (c, h, w). Returns the final activation tensor.
+///
+/// Batches run image-parallel on the runtime's global ThreadPool; every
+/// layer treats images independently, so the result is bit-identical for
+/// any thread count (see tests/runtime_test.cpp).
 tensor::Tensor4f forward(const std::vector<LayerSpec>& layers,
                          const WeightBank& weights,
                          const tensor::Tensor4f& input, ConvAlgo algo);

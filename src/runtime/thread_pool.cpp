@@ -1,0 +1,192 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace wino::runtime {
+
+namespace {
+// Set while a thread executes a parallel_for body; nested calls run inline.
+thread_local bool t_in_parallel_region = false;
+}  // namespace
+
+struct ThreadPool::State {
+  // Serialises whole parallel_for jobs: concurrent callers from distinct
+  // application threads queue up rather than corrupting the job slot.
+  // Never taken by pool workers (nested calls run inline), so it cannot
+  // self-deadlock.
+  std::mutex job_mutex;
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable work_done;
+
+  // Job description for the current parallel_for, guarded by mutex.
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::size_t count = 0;
+  std::size_t chunks = 0;
+  std::uint64_t epoch = 0;
+  std::size_t pending = 0;  ///< worker chunks not yet finished
+  std::exception_ptr error;
+  bool stopping = false;
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : state_(new State) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(state_->mutex);
+    state_->stopping = true;
+  }
+  state_->work_ready.notify_all();
+  workers_.clear();  // joins
+  delete state_;
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  State& st = *state_;
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::size_t count = 0;
+    std::size_t chunks = 0;
+    {
+      std::unique_lock lock(st.mutex);
+      st.work_ready.wait(lock, [&] {
+        return st.stopping || st.epoch != seen_epoch;
+      });
+      if (st.stopping) return;
+      seen_epoch = st.epoch;
+      body = st.body;
+      count = st.count;
+      chunks = st.chunks;
+    }
+    // Worker i owns chunk i + 1 (the caller runs chunk 0); workers past the
+    // chunk count have nothing to do this round but still must check in.
+    const std::size_t chunk = worker_index + 1;
+    std::exception_ptr error;
+    if (chunk < chunks) {
+      const std::size_t begin = chunk_begin(chunk, count, chunks);
+      const std::size_t end = chunk_begin(chunk + 1, count, chunks);
+      t_in_parallel_region = true;
+      try {
+        (*body)(begin, end);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      t_in_parallel_region = false;
+    }
+    {
+      std::lock_guard lock(st.mutex);
+      if (error && !st.error) st.error = error;
+      if (--st.pending == 0) st.work_done.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t chunks = std::min(count, threads());
+  if (chunks <= 1 || t_in_parallel_region) {
+    body(0, count);
+    return;
+  }
+
+  std::lock_guard job_lock(state_->job_mutex);
+  {
+    std::lock_guard lock(state_->mutex);
+    state_->body = &body;
+    state_->count = count;
+    state_->chunks = chunks;
+    state_->pending = workers_.size();
+    state_->error = nullptr;
+    ++state_->epoch;
+  }
+  state_->work_ready.notify_all();
+
+  // The caller is thread 0 and runs the first chunk.
+  std::exception_ptr error;
+  t_in_parallel_region = true;
+  try {
+    body(0, chunk_begin(1, count, chunks));
+  } catch (...) {
+    error = std::current_exception();
+  }
+  t_in_parallel_region = false;
+
+  std::unique_lock lock(state_->mutex);
+  state_->work_done.wait(lock, [&] { return state_->pending == 0; });
+  state_->body = nullptr;
+  if (!state_->error && error) state_->error = error;
+  if (state_->error) {
+    std::exception_ptr rethrow = state_->error;
+    state_->error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(rethrow);
+  }
+}
+
+namespace {
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+std::size_t default_global_threads() {
+  if (const char* env = std::getenv("WINO_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard lock(g_global_mutex);
+  if (!g_global_pool) {
+    g_global_pool = std::make_unique<ThreadPool>(default_global_threads());
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::set_global_threads(std::size_t threads) {
+  if (threads == 0) {
+    throw std::invalid_argument("set_global_threads: need >= 1 thread");
+  }
+  std::lock_guard lock(g_global_mutex);
+  if (g_global_pool && g_global_pool->threads() == threads) return;
+  g_global_pool = std::make_unique<ThreadPool>(threads);
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  ThreadPool::global().parallel_for(count, body);
+}
+
+void parallel_for_each(std::size_t count,
+                       const std::function<void(std::size_t)>& body) {
+  ThreadPool::global().parallel_for(
+      count, [&body](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      });
+}
+
+}  // namespace wino::runtime

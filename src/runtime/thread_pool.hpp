@@ -1,0 +1,77 @@
+// Deterministic multi-threading substrate for the hot numeric paths.
+//
+// The pool is intentionally work-stealing-free: parallel_for splits an index
+// range into at most thread-count contiguous chunks with statically computed
+// boundaries, and every chunk runs the same sequential code it would run
+// single-threaded. Parallelism is only ever applied across *independent
+// outputs* (batch images, output channels, tiles), never across reduction
+// dimensions, so results are bit-identical for any thread count — a property
+// the runtime determinism tests pin down.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace wino::runtime {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency(). The calling
+  /// thread always participates, so `threads` is the total worker count
+  /// (a pool of 1 runs everything inline and spawns nothing).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads applied to a parallel_for (workers + caller).
+  [[nodiscard]] std::size_t threads() const { return workers_.size() + 1; }
+
+  /// Run body(begin, end) over a static partition of [0, count) into at
+  /// most threads() contiguous chunks. Blocks until every chunk finished.
+  /// A nested call from inside a body runs inline (no re-entry deadlock),
+  /// and concurrent calls from distinct application threads serialise on
+  /// an internal job mutex rather than interleaving.
+  /// The first exception thrown by any chunk is rethrown to the caller.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Chunk boundary helper: [chunk_begin(i), chunk_begin(i+1)) is chunk i of
+  /// `count` items split into `chunks` near-equal contiguous ranges.
+  [[nodiscard]] static std::size_t chunk_begin(std::size_t index,
+                                               std::size_t count,
+                                               std::size_t chunks) {
+    return index * count / chunks;
+  }
+
+  /// Process-wide pool used by the free parallel_for. Created lazily with
+  /// set_global_threads()'s last value, else WINO_THREADS, else hardware
+  /// concurrency.
+  static ThreadPool& global();
+
+  /// Resize the global pool (tests and benches switch 1 <-> N threads).
+  /// Must not race in-flight parallel work on the global pool: the old
+  /// pool is destroyed, so call it only from a quiescent control thread.
+  static void set_global_threads(std::size_t threads);
+
+ private:
+  struct State;
+  void worker_loop(std::size_t worker_index);
+
+  State* state_;
+  std::vector<std::jthread> workers_;
+};
+
+/// parallel_for on the global pool.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Convenience: body receives one index at a time (still chunked under the
+/// hood, so per-chunk scratch reuse is the ThreadPool overload's job).
+void parallel_for_each(std::size_t count,
+                       const std::function<void(std::size_t)>& body);
+
+}  // namespace wino::runtime

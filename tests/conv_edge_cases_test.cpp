@@ -1,0 +1,142 @@
+// Edge-case cross-checks between the spatial, im2col and FFT convolution
+// backends: stride > 1, asymmetric padding, and 1x1 / 5x5 kernels. The
+// spatial path is ground truth; the others must agree everywhere to fp32
+// accumulation tolerance.
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "conv/fft.hpp"
+#include "conv/im2col.hpp"
+#include "conv/spatial.hpp"
+
+namespace wino::conv {
+namespace {
+
+using common::Rng;
+using tensor::Tensor4f;
+
+Tensor4f random_tensor(std::size_t n, std::size_t c, std::size_t h,
+                       std::size_t w, Rng& rng) {
+  Tensor4f t(n, c, h, w);
+  rng.fill_uniform(t.flat());
+  return t;
+}
+
+void expect_all_backends_match(const Tensor4f& in, const Tensor4f& k,
+                               const SpatialConvOptions& opt,
+                               float tol = 1e-4F) {
+  const Tensor4f ref = conv2d_spatial(in, k, opt);
+  const Tensor4f gemm = conv2d_im2col(in, k, opt);
+  const Tensor4f fft = conv2d_fft(in, k, opt);
+  ASSERT_EQ(ref.shape(), gemm.shape());
+  ASSERT_EQ(ref.shape(), fft.shape());
+  EXPECT_LE(tensor::max_abs_diff(ref, gemm), tol);
+  EXPECT_LE(tensor::max_abs_diff(ref, fft), tol);
+}
+
+TEST(ConvEdgeCases, StrideTwoAndThreeAcrossBackends) {
+  Rng rng(31);
+  const Tensor4f in = random_tensor(2, 3, 13, 11, rng);
+  const Tensor4f k = random_tensor(4, 3, 3, 3, rng);
+  for (const int stride : {2, 3}) {
+    for (const int pad : {0, 1}) {
+      expect_all_backends_match(in, k,
+                                {.pad = pad, .stride = stride});
+    }
+  }
+}
+
+TEST(ConvEdgeCases, AsymmetricPaddingAcrossBackends) {
+  Rng rng(32);
+  const Tensor4f in = random_tensor(1, 2, 9, 9, rng);
+  const Tensor4f k = random_tensor(3, 2, 3, 3, rng);
+  for (const auto [ph, pw] : {std::pair{0, 1}, {1, 0}, {2, 1}}) {
+    SpatialConvOptions opt;
+    opt.pad_h = ph;
+    opt.pad_w = pw;
+    expect_all_backends_match(in, k, opt);
+  }
+}
+
+TEST(ConvEdgeCases, AsymmetricPaddingOutputShape) {
+  const Tensor4f in(1, 1, 8, 8, 1.0F);
+  const Tensor4f k(1, 1, 3, 3, 1.0F);
+  SpatialConvOptions opt;
+  opt.pad_h = 2;
+  opt.pad_w = 0;
+  const Tensor4f y = conv2d_spatial(in, k, opt);
+  EXPECT_EQ(y.shape().h, 10u);
+  EXPECT_EQ(y.shape().w, 6u);
+  // Fully interior element sees all 9 unit taps.
+  EXPECT_FLOAT_EQ(y(0, 0, 4, 2), 9.0F);
+  // Top row reads two padded rows: only the kernel's bottom row overlaps.
+  EXPECT_FLOAT_EQ(y(0, 0, 0, 2), 3.0F);
+}
+
+TEST(ConvEdgeCases, PadFieldStillSymmetricDefault) {
+  Rng rng(33);
+  const Tensor4f in = random_tensor(1, 1, 7, 7, rng);
+  const Tensor4f k = random_tensor(1, 1, 3, 3, rng);
+  SpatialConvOptions sym{.pad = 1, .stride = 1};
+  SpatialConvOptions expl;
+  expl.pad_h = 1;
+  expl.pad_w = 1;
+  EXPECT_EQ(conv2d_spatial(in, k, sym), conv2d_spatial(in, k, expl));
+}
+
+TEST(ConvEdgeCases, OneByOneKernelAcrossBackends) {
+  Rng rng(34);
+  const Tensor4f in = random_tensor(2, 4, 6, 6, rng);
+  const Tensor4f k = random_tensor(3, 4, 1, 1, rng);
+  expect_all_backends_match(in, k, {.pad = 0, .stride = 1});
+  expect_all_backends_match(in, k, {.pad = 0, .stride = 2});
+}
+
+TEST(ConvEdgeCases, OneByOneIsChannelMix) {
+  // A 1x1 convolution is a per-pixel channel mix; check one pixel by hand.
+  Rng rng(35);
+  const Tensor4f in = random_tensor(1, 3, 4, 4, rng);
+  const Tensor4f k = random_tensor(2, 3, 1, 1, rng);
+  const Tensor4f y = conv2d_spatial(in, k);
+  float want = 0.0F;
+  for (std::size_t c = 0; c < 3; ++c) {
+    want += in(0, c, 2, 1) * k(1, c, 0, 0);
+  }
+  EXPECT_FLOAT_EQ(y(0, 1, 2, 1), want);
+}
+
+TEST(ConvEdgeCases, FiveByFiveAcrossBackends) {
+  Rng rng(36);
+  const Tensor4f in = random_tensor(1, 2, 12, 12, rng);
+  const Tensor4f k = random_tensor(2, 2, 5, 5, rng);
+  for (const int pad : {0, 2}) {
+    expect_all_backends_match(in, k, {.pad = pad, .stride = 1});
+  }
+  expect_all_backends_match(in, k, {.pad = 2, .stride = 2});
+}
+
+TEST(ConvEdgeCases, PaddingLargerThanKernelAcrossBackends) {
+  // pad > r-1 makes border outputs pure zero-padding products; the FFT
+  // path must zero-fill samples outside its linear-convolution grid.
+  Rng rng(38);
+  const Tensor4f in = random_tensor(1, 2, 6, 6, rng);
+  const Tensor4f k1 = random_tensor(2, 2, 1, 1, rng);
+  expect_all_backends_match(in, k1, {.pad = 1, .stride = 1});
+  const Tensor4f k3 = random_tensor(2, 2, 3, 3, rng);
+  expect_all_backends_match(in, k3, {.pad = 4, .stride = 1});
+  expect_all_backends_match(in, k3, {.pad = 4, .stride = 3});
+}
+
+TEST(ConvEdgeCases, FiveByFiveAsymmetricStrided) {
+  Rng rng(37);
+  const Tensor4f in = random_tensor(1, 2, 14, 10, rng);
+  const Tensor4f k = random_tensor(2, 2, 5, 5, rng);
+  SpatialConvOptions opt;
+  opt.pad_h = 1;
+  opt.pad_w = 2;
+  opt.stride = 2;
+  expect_all_backends_match(in, k, opt);
+}
+
+}  // namespace
+}  // namespace wino::conv

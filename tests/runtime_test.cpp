@@ -1,0 +1,216 @@
+// Unit tests for the deterministic runtime (ThreadPool + parallel_for) and
+// end-to-end determinism of the threaded hot paths: any thread count must
+// produce bit-identical results to the single-threaded run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/random.hpp"
+#include "conv/fft.hpp"
+#include "conv/im2col.hpp"
+#include "conv/spatial.hpp"
+#include "hw/engine_config.hpp"
+#include "hw/winograd_engine.hpp"
+#include "nn/forward.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace wino::runtime {
+namespace {
+
+using tensor::Tensor4f;
+
+// Restores the global pool so test order cannot leak thread counts.
+class RuntimeTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ThreadPool::set_global_threads(4); }
+};
+
+TEST_F(RuntimeTest, ChunksCoverRangeExactlyOnce) {
+  for (const std::size_t count : {0u, 1u, 3u, 7u, 64u, 1000u}) {
+    for (const std::size_t chunks : {1u, 2u, 3u, 8u}) {
+      std::size_t covered = 0;
+      std::size_t prev_end = 0;
+      const std::size_t effective = std::min<std::size_t>(count, chunks);
+      for (std::size_t i = 0; i < effective; ++i) {
+        const std::size_t b = ThreadPool::chunk_begin(i, count, effective);
+        const std::size_t e = ThreadPool::chunk_begin(i + 1, count, effective);
+        EXPECT_EQ(b, prev_end);
+        EXPECT_LE(e, count);
+        covered += e - b;
+        prev_end = e;
+      }
+      if (effective > 0) EXPECT_EQ(covered, count);
+    }
+  }
+}
+
+TEST_F(RuntimeTest, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_F(RuntimeTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_F(RuntimeTest, OversubscribedPoolStillCoversSmallRange) {
+  // More threads than work: only `count` chunks are issued, each size 1.
+  ThreadPool pool(16);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(hits.size(), [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(end - begin, 1u);
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_F(RuntimeTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  std::vector<int> hits(10, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
+}
+
+TEST_F(RuntimeTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(8 * 8);
+  pool.parallel_for(8, [&](std::size_t ob, std::size_t oe) {
+    for (std::size_t o = ob; o < oe; ++o) {
+      pool.parallel_for(8, [&](std::size_t ib, std::size_t ie) {
+        for (std::size_t i = ib; i < ie; ++i) hits[o * 8 + i].fetch_add(1);
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_F(RuntimeTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t begin, std::size_t) {
+                          if (begin == 0) {
+                            throw std::runtime_error("chunk failure");
+                          }
+                        }),
+      std::runtime_error);
+  // The pool must stay usable after an exception round.
+  std::atomic<int> total{0};
+  pool.parallel_for(10, [&](std::size_t begin, std::size_t end) {
+    total.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST_F(RuntimeTest, SetGlobalThreadsRejectsZero) {
+  EXPECT_THROW(ThreadPool::set_global_threads(0), std::invalid_argument);
+}
+
+TEST_F(RuntimeTest, GlobalParallelForEachSums) {
+  ThreadPool::set_global_threads(3);
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for_each(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism of the threaded hot paths: 1 thread vs N threads must be
+// bit-identical (the runtime only parallelises independent outputs).
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+void expect_thread_invariant(Fn&& fn) {
+  ThreadPool::set_global_threads(1);
+  const Tensor4f ref = fn();
+  for (const std::size_t t : {2u, 4u, 7u}) {
+    ThreadPool::set_global_threads(t);
+    const Tensor4f got = fn();
+    ASSERT_EQ(ref.shape(), got.shape());
+    EXPECT_EQ(tensor::max_abs_diff(ref, got), 0.0F)
+        << "non-deterministic at " << t << " threads";
+  }
+}
+
+TEST_F(RuntimeTest, ConvBackendsAreThreadCountInvariant) {
+  common::Rng rng(41);
+  Tensor4f in(2, 3, 12, 12);
+  Tensor4f k(5, 3, 3, 3);
+  rng.fill_uniform(in.flat());
+  rng.fill_normal(k.flat(), 0.0F, 0.5F);
+  const conv::SpatialConvOptions opt{.pad = 1, .stride = 1};
+  expect_thread_invariant([&] { return conv::conv2d_spatial(in, k, opt); });
+  expect_thread_invariant([&] { return conv::conv2d_im2col(in, k, opt); });
+  expect_thread_invariant([&] { return conv::conv2d_fft(in, k, opt); });
+}
+
+TEST_F(RuntimeTest, HwEngineIsThreadCountInvariant) {
+  common::Rng rng(42);
+  Tensor4f in(1, 4, 14, 14);
+  Tensor4f k(6, 4, 3, 3);
+  rng.fill_uniform(in.flat());
+  rng.fill_normal(k.flat(), 0.0F, 0.5F);
+  hw::EngineConfig cfg;
+  cfg.m = 2;
+  cfg.r = 3;
+  cfg.parallel_pes = 4;
+  const hw::WinogradEngine engine(cfg);
+  expect_thread_invariant(
+      [&] { return engine.run_layer(in, k, 1).output; });
+}
+
+TEST_F(RuntimeTest, ForwardIsThreadCountInvariant) {
+  const auto layers = nn::vgg16_d_scaled(28, 16);  // 8x8 input, tiny
+  const auto weights = nn::random_weights(layers, 43);
+  common::Rng rng(44);
+  Tensor4f batch(5, 3, 8, 8);
+  rng.fill_uniform(batch.flat());
+  for (const auto algo : {nn::ConvAlgo::kSpatial, nn::ConvAlgo::kIm2col,
+                          nn::ConvAlgo::kWinograd2}) {
+    expect_thread_invariant(
+        [&] { return nn::forward(layers, weights, batch, algo); });
+  }
+}
+
+TEST_F(RuntimeTest, BatchForwardMatchesPerImageForward) {
+  // The batch-parallel split must agree with slicing the batch by hand.
+  const auto layers = nn::vgg16_d_scaled(28, 16);
+  const auto weights = nn::random_weights(layers, 45);
+  common::Rng rng(46);
+  Tensor4f batch(3, 3, 8, 8);
+  rng.fill_uniform(batch.flat());
+  const Tensor4f all =
+      nn::forward(layers, weights, batch, nn::ConvAlgo::kIm2col);
+  const std::size_t vol = 3 * 8 * 8;
+  for (std::size_t img = 0; img < 3; ++img) {
+    Tensor4f single(1, 3, 8, 8);
+    const auto src = batch.flat().subspan(img * vol, vol);
+    std::copy(src.begin(), src.end(), single.flat().begin());
+    const Tensor4f one =
+        nn::forward(layers, weights, single, nn::ConvAlgo::kIm2col);
+    const auto os = all.shape();
+    const std::size_t ovol = os.c * os.h * os.w;
+    const auto got = all.flat().subspan(img * ovol, ovol);
+    const auto want = one.flat();
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], want[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wino::runtime
