@@ -3,13 +3,19 @@
 // Used with wino::common::Rational for exact Cook-Toom transform
 // construction and with float/double for runtime kernels. This is a
 // deliberately small linear-algebra substrate: the transform matrices are at
-// most ~10x10, so clarity and exactness beat BLAS-style tuning here.
+// most ~10x10, so clarity and exactness beat BLAS-style tuning here. The
+// one concession (and the one dependency on runtime/) is that large float
+// products dispatch to the shared blocked SIMD GEMM core, so callers that
+// outgrow transform-sized matrices are not silently cubic-slow.
 #pragma once
 
 #include <cstddef>
 #include <initializer_list>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
+
+#include "runtime/gemm.hpp"
 
 namespace wino::common {
 
@@ -72,6 +78,18 @@ class Matrix {
       throw std::invalid_argument("matrix product dimension mismatch");
     }
     Matrix out(a.rows_, b.cols_);
+    // Large float products route to the shared cache-blocked SIMD GEMM
+    // core; the exact-arithmetic types (Rational) and the small transform
+    // matrices keep the clear triple loop.
+    if constexpr (std::is_same_v<T, float>) {
+      constexpr std::size_t kGemmMnkThreshold = 64 * 64 * 64;
+      if (a.rows_ * a.cols_ * b.cols_ >= kGemmMnkThreshold) {
+        wino::runtime::sgemm(a.rows_, b.cols_, a.cols_, 1.0F,
+                             a.data_.data(), a.cols_, b.data_.data(),
+                             b.cols_, 0.0F, out.data_.data(), b.cols_);
+        return out;
+      }
+    }
     for (std::size_t i = 0; i < a.rows_; ++i) {
       for (std::size_t k = 0; k < a.cols_; ++k) {
         const T& aik = a(i, k);

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/gemm.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace wino::conv {
@@ -16,21 +17,8 @@ void gemm(std::span<const float> a, std::span<const float> b,
       c.size() != rows * cols) {
     throw std::invalid_argument("gemm: size mismatch");
   }
-  std::fill(c.begin(), c.end(), 0.0F);
-  // Each output row of C is an independent dot-product sweep, so the row
-  // loop is parallel; the inner ikj order keeps the B row hot and
-  // vectorisable, and per-row numerics are unchanged by threading.
-  runtime::parallel_for(rows, [&](std::size_t row_begin, std::size_t row_end) {
-    for (std::size_t i = row_begin; i < row_end; ++i) {
-      for (std::size_t k = 0; k < inner; ++k) {
-        const float aik = a[i * inner + k];
-        if (aik == 0.0F) continue;
-        const float* brow = &b[k * cols];
-        float* crow = &c[i * cols];
-        for (std::size_t j = 0; j < cols; ++j) crow[j] += aik * brow[j];
-      }
-    }
-  });
+  runtime::sgemm(rows, cols, inner, 1.0F, a.data(), inner, b.data(), cols,
+                 0.0F, c.data(), cols);
 }
 
 void im2col(const Tensor4f& input, std::size_t image, std::size_t r, int pad,
@@ -89,16 +77,31 @@ Tensor4f conv2d_im2col(const Tensor4f& input, const Tensor4f& kernels,
   std::span<const float> a = kernels.flat();
 
   Tensor4f out(is.n, ks.n, out_h, out_w);
-  std::vector<float> patches(inner * cols);
-  std::vector<float> result(ks.n * cols);
-  for (std::size_t img = 0; img < is.n; ++img) {
-    im2col(input, img, r, pad_h, pad_w, opt.stride, patches);
-    gemm(a, patches, result, ks.n, inner, cols);
-    for (std::size_t k = 0; k < ks.n; ++k) {
-      for (std::size_t i = 0; i < cols; ++i) {
-        out(img, k, i / out_w, i % out_w) = result[k * cols + i];
+  auto run_images = [&](std::size_t begin, std::size_t end) {
+    // One patch/result scratch pair per chunk, reused across every image
+    // the chunk owns instead of reallocating per image.
+    std::vector<float> patches(inner * cols);
+    std::vector<float> result(ks.n * cols);
+    for (std::size_t img = begin; img < end; ++img) {
+      im2col(input, img, r, pad_h, pad_w, opt.stride, patches);
+      gemm(a, patches, result, ks.n, inner, cols);
+      for (std::size_t k = 0; k < ks.n; ++k) {
+        for (std::size_t i = 0; i < cols; ++i) {
+          out(img, k, i / out_w, i % out_w) = result[k * cols + i];
+        }
       }
     }
+  };
+  // Images are independent outputs, but going image-parallel pins nested
+  // im2col/sgemm parallel_for calls inline — so only split the batch when
+  // it can occupy the whole pool; smaller batches keep the per-image
+  // kernels parallel instead. Either way each image's values are the
+  // thread-invariant per-image results, so the strategy switch cannot
+  // change the output.
+  if (is.n >= runtime::ThreadPool::global().threads()) {
+    runtime::parallel_for(is.n, run_images);
+  } else {
+    run_images(0, is.n);
   }
   return out;
 }

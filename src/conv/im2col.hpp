@@ -1,7 +1,8 @@
 // im2col + GEMM convolution baseline: lowers the convolution to one matrix
 // multiply per image, the classic approach used by GPU/CPU BLAS backends
-// the paper contrasts fast algorithms with. GEMM is implemented in-repo
-// (no BLAS dependency) with simple register blocking.
+// the paper contrasts fast algorithms with. The matrix multiply runs on
+// the shared cache-blocked SIMD core in runtime/gemm.hpp (no BLAS
+// dependency).
 #pragma once
 
 #include <span>
@@ -11,8 +12,8 @@
 
 namespace wino::conv {
 
-/// C = A (rows x inner) * B (inner x cols), row-major, accumulating into a
-/// zeroed output span.
+/// C = A (rows x inner) * B (inner x cols), row-major, overwriting c.
+/// Thin span-checked wrapper over runtime::sgemm.
 void gemm(std::span<const float> a, std::span<const float> b,
           std::span<float> c, std::size_t rows, std::size_t inner,
           std::size_t cols);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/gemm.hpp"
 #include "runtime/thread_pool.hpp"
 #include "winograd/kernels.hpp"
 
@@ -149,9 +150,28 @@ SimResult WinogradEngine::run_layer(const Tensor4f& input,
   result.output = Tensor4f(is.n, ks.n, out_h, out_w);
   Tensor4f& output = result.output;
 
+  // Dense float copies of A^T (m x n) and A (n x m) so the per-PE inverse
+  // transforms Y_pe = A^T M_pe A of one kernel group batch into two skinny
+  // GEMMs on the shared runtime core: concatenating the M_pe tiles
+  // horizontally gives A^T [M_0 | ... | M_{P-1}] in one multiply, and
+  // stacking the halves vertically gives [T_0; ...; T_{P-1}] A in a
+  // second. GEMM rows/columns are independent, so this equals the per-PE
+  // loop; the shared core's ascending-k accumulation matches the tiny
+  // sandwich products' order element for element.
+  const winograd::FMatrix& at = xf.at_matrix();
+  std::vector<float> at_row(mm * n);
+  std::vector<float> a_col(n * mm);
+  for (std::size_t i = 0; i < mm; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      at_row[i * n + j] = at(i, j);
+      a_col[j * mm + i] = at(i, j);
+    }
+  }
+
   for (std::size_t img = 0; img < is.n; ++img) {
     for (std::size_t g = 0; g * p < ks.n; ++g) {
       const std::size_t group_kernels = std::min(p, ks.n - g * p);
+      const std::size_t gk = group_kernels;
       // Tile positions are independent within a kernel group — each writes
       // a disjoint out_h x out_w patch per kernel — so the flattened tile
       // loop is parallel with per-chunk scratch. Per-tile arithmetic stays
@@ -162,8 +182,12 @@ SimResult WinogradEngine::run_layer(const Tensor4f& input,
           [&](std::size_t tile_begin, std::size_t tile_end) {
             std::vector<float> d(nsq);
             std::vector<float> u(nsq);
-            std::vector<float> prod(nsq);
-            std::vector<float> y(mm * mm);
+            // Elementwise PE products, concatenated as the n x (gk * n)
+            // matrix [M_0 | ... | M_{gk-1}], and the two GEMM stages.
+            std::vector<float> cat(n * gk * n);
+            std::vector<float> tmp(mm * gk * n);
+            std::vector<float> stacked(gk * mm * n);
+            std::vector<float> yb(gk * mm * mm);
             // Per-PE post-inverse accumulation buffers (Fig 7 "Accumulation
             // Buffers").
             std::vector<std::vector<float>> acc(
@@ -186,19 +210,41 @@ SimResult WinogradEngine::run_layer(const Tensor4f& input,
                   }
                 }
                 xf.transform_data(d, u);
-                // Broadcast U to the PE array.
-                for (std::size_t pe = 0; pe < group_kernels; ++pe) {
+                // Broadcast U to the PE array: M_pe = U . V_pe.
+                for (std::size_t pe = 0; pe < gk; ++pe) {
                   const auto v = tk.v(g * p + pe, c);
-                  for (std::size_t i = 0; i < nsq; ++i) {
-                    prod[i] = u[i] * v[i];
+                  for (std::size_t i = 0; i < n; ++i) {
+                    for (std::size_t j = 0; j < n; ++j) {
+                      cat[i * (gk * n) + pe * n + j] =
+                          u[i * n + j] * v[i * n + j];
+                    }
                   }
-                  xf.inverse(prod, y);
+                }
+                // Stage 1: [T_0 | ... ] = A^T x [M_0 | ... ].
+                runtime::sgemm(mm, gk * n, n, 1.0F, at_row.data(), n,
+                               cat.data(), gk * n, 0.0F, tmp.data(),
+                               gk * n);
+                // Restack T_pe halves vertically for stage 2.
+                for (std::size_t pe = 0; pe < gk; ++pe) {
+                  for (std::size_t i = 0; i < mm; ++i) {
+                    const float* src = tmp.data() + i * (gk * n) + pe * n;
+                    float* dst = stacked.data() + (pe * mm + i) * n;
+                    std::copy(src, src + n, dst);
+                  }
+                }
+                // Stage 2: Y_pe = T_pe x A, all PEs in one multiply.
+                runtime::sgemm(gk * mm, mm, n, 1.0F, stacked.data(), n,
+                               a_col.data(), mm, 0.0F, yb.data(), mm);
+                // Post-inverse accumulation, channel by channel, exactly
+                // as the hardware's accumulation buffers sum.
+                for (std::size_t pe = 0; pe < gk; ++pe) {
                   auto& a = acc[pe];
-                  for (std::size_t i = 0; i < y.size(); ++i) a[i] += y[i];
+                  const float* ys = yb.data() + pe * mm * mm;
+                  for (std::size_t i = 0; i < mm * mm; ++i) a[i] += ys[i];
                 }
               }
               // Writeback with edge clipping.
-              for (std::size_t pe = 0; pe < group_kernels; ++pe) {
+              for (std::size_t pe = 0; pe < gk; ++pe) {
                 const std::size_t k = g * p + pe;
                 for (std::size_t i = 0; i < mm; ++i) {
                   const std::size_t oy = th * mm + i;

@@ -1,8 +1,14 @@
 #include "nn/forward.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "common/random.hpp"
 #include "conv/fft.hpp"
@@ -14,6 +20,121 @@
 namespace wino::nn {
 
 using tensor::Tensor4f;
+
+namespace {
+
+/// F(m) tile size for the Winograd algos; 0 for everything else.
+int winograd_m(ConvAlgo algo) {
+  switch (algo) {
+    case ConvAlgo::kWinograd2:
+      return 2;
+    case ConvAlgo::kWinograd3:
+      return 3;
+    case ConvAlgo::kWinograd4:
+      return 4;
+    default:
+      return 0;
+  }
+}
+
+/// One cached per-layer Winograd prep: the compiled F(m x m, r x r)
+/// transformer plus the transformed kernel bank V = G g G^T for every
+/// (k, c). Immutable after construction, shared read-only across threads.
+struct CachedTransforms {
+  winograd::TileTransformer xf;
+  winograd::TransformedKernels tk;
+
+  CachedTransforms(int m, const Tensor4f& kernels)
+      : xf(winograd::transforms(m, static_cast<int>(kernels.shape().h))),
+        tk(xf, kernels) {}
+};
+
+struct TransformKey {
+  std::uint64_t version;
+  std::size_t layer;
+  int m;
+  std::size_t r;
+
+  friend bool operator==(const TransformKey&, const TransformKey&) = default;
+};
+
+struct TransformKeyHash {
+  std::size_t operator()(const TransformKey& k) const {
+    std::size_t h = std::hash<std::uint64_t>{}(k.version);
+    h = h * 1315423911u ^ std::hash<std::size_t>{}(k.layer);
+    h = h * 1315423911u ^ std::hash<int>{}(k.m);
+    return h * 1315423911u ^ std::hash<std::size_t>{}(k.r);
+  }
+};
+
+/// Process-wide cache of filter transforms keyed by (weights version,
+/// layer, m, r). Serving workloads call forward() many times over frozen
+/// weights; without this every call re-transforms every filter of every
+/// layer, per sub-batch. Bounded FIFO so abandoned weight versions age
+/// out.
+class TransformCache {
+ public:
+  std::shared_ptr<const CachedTransforms> get(const TransformKey& key,
+                                              const Tensor4f& kernels) {
+    std::lock_guard lock(mutex_);
+    if (auto it = map_.find(key); it != map_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+    auto entry = std::make_shared<const CachedTransforms>(key.m, kernels);
+    map_.emplace(key, entry);
+    order_.push_back(key);
+    while (order_.size() > kMaxEntries) {
+      map_.erase(order_.front());
+      order_.pop_front();
+    }
+    return entry;
+  }
+
+  TransformCacheStats stats() {
+    std::lock_guard lock(mutex_);
+    return {hits_, misses_, map_.size()};
+  }
+
+  void clear() {
+    std::lock_guard lock(mutex_);
+    map_.clear();
+    order_.clear();
+    hits_ = misses_ = 0;
+  }
+
+ private:
+  // Generous for one serving model (VGG-16 has 13 conv layers) while
+  // bounding memory when weight versions churn.
+  static constexpr std::size_t kMaxEntries = 256;
+
+  std::mutex mutex_;
+  std::unordered_map<TransformKey, std::shared_ptr<const CachedTransforms>,
+                     TransformKeyHash>
+      map_;
+  std::deque<TransformKey> order_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+TransformCache& transform_cache() {
+  static TransformCache cache;
+  return cache;
+}
+
+}  // namespace
+
+std::uint64_t next_weight_version() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+TransformCacheStats transform_cache_stats() {
+  return transform_cache().stats();
+}
+
+void clear_transform_cache() { transform_cache().clear(); }
 
 std::string to_string(ConvAlgo algo) {
   switch (algo) {
@@ -144,7 +265,19 @@ Tensor4f forward_sequential(const std::vector<LayerSpec>& layers,
         if (conv_idx >= weights.conv_kernels.size()) {
           throw std::invalid_argument("forward: missing conv weights");
         }
-        act = run_conv(algo, act, weights.conv_kernels[conv_idx++], l.conv.pad);
+        const Tensor4f& kern = weights.conv_kernels[conv_idx];
+        if (const int m = winograd_m(algo); m > 0) {
+          // Serving path: filter transforms come from the cross-call
+          // cache instead of being recomputed per image and per call.
+          const auto entry = transform_cache().get(
+              {weights.version, conv_idx, m, kern.shape().h}, kern);
+          winograd::WinogradConvOptions wopt;
+          wopt.pad = l.conv.pad;
+          act = winograd::conv2d_winograd(act, entry->tk, entry->xf, wopt);
+        } else {
+          act = run_conv(algo, act, kern, l.conv.pad);
+        }
+        ++conv_idx;
         relu_inplace(act);
         break;
       }
@@ -166,11 +299,30 @@ Tensor4f forward_sequential(const std::vector<LayerSpec>& layers,
   return act;
 }
 
+/// Populate the transform cache for every conv layer before the batch
+/// fans out, so worker chunks never serialise on a cold cache (the cache
+/// mutex would make them take turns building the same entry's siblings).
+void prewarm_transforms(const std::vector<LayerSpec>& layers,
+                        const WeightBank& weights, ConvAlgo algo) {
+  const int m = winograd_m(algo);
+  if (m == 0) return;
+  std::size_t conv_idx = 0;
+  for (const auto& l : layers) {
+    if (l.kind != LayerKind::kConv) continue;
+    if (conv_idx >= weights.conv_kernels.size()) break;
+    const Tensor4f& kern = weights.conv_kernels[conv_idx];
+    transform_cache().get({weights.version, conv_idx, m, kern.shape().h},
+                          kern);
+    ++conv_idx;
+  }
+}
+
 }  // namespace
 
 Tensor4f forward(const std::vector<LayerSpec>& layers,
                  const WeightBank& weights, const Tensor4f& input,
                  ConvAlgo algo) {
+  prewarm_transforms(layers, weights, algo);
   const auto& is = input.shape();
   // Batch-parallel: every layer treats images independently, so running a
   // contiguous sub-batch through the stack alone reproduces the batched

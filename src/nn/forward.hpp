@@ -6,6 +6,7 @@
 // paper's convolution engine in and out of the datapath.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -43,12 +44,24 @@ tensor::Tensor4f fully_connected(const tensor::Tensor4f& input,
                                  const std::vector<float>& bias,
                                  std::size_t out_features);
 
+/// Monotonic id used to tag WeightBank contents for the transformed-kernel
+/// cache. Every call returns a fresh, process-unique value.
+std::uint64_t next_weight_version();
+
 /// Weight bank for a network: one KCrr tensor per conv layer plus FC
 /// weight/bias arrays, initialised from a deterministic seed.
 struct WeightBank {
   std::vector<tensor::Tensor4f> conv_kernels;
   std::vector<std::vector<float>> fc_weights;
   std::vector<std::vector<float>> fc_bias;
+
+  /// Identity of the weight *values*, keying the cross-call transformed-
+  /// kernel cache (copies legitimately share it — same values, same
+  /// transforms). Call bump_version() after mutating any kernel in place,
+  /// or the cache will serve transforms of the old values.
+  std::uint64_t version = next_weight_version();
+
+  void bump_version() { version = next_weight_version(); }
 };
 
 /// Allocate random weights for `layers` (He-style scaled normal).
@@ -64,6 +77,22 @@ WeightBank random_weights(const std::vector<LayerSpec>& layers,
 tensor::Tensor4f forward(const std::vector<LayerSpec>& layers,
                          const WeightBank& weights,
                          const tensor::Tensor4f& input, ConvAlgo algo);
+
+/// Counters for the process-wide transformed-kernel cache that forward()
+/// consults for Winograd conv layers (keyed by layer index, m, r and the
+/// WeightBank version): repeated forward calls over the same weights — the
+/// serving-workload shape — reuse the filter transforms instead of
+/// recomputing them per image and per call.
+struct TransformCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t entries = 0;
+};
+
+[[nodiscard]] TransformCacheStats transform_cache_stats();
+
+/// Drop every cached transform (and zero the hit/miss counters).
+void clear_transform_cache();
 
 /// A spatially scaled-down VGG16-D-like stack (same channel progression,
 /// reduced resolution) so end-to-end inference is test-sized. `scale`

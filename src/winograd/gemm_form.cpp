@@ -3,6 +3,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/gemm.hpp"
+#include "runtime/thread_pool.hpp"
+
 namespace wino::winograd {
 
 using tensor::Tensor4f;
@@ -33,7 +36,11 @@ Tensor4f conv2d_winograd_gemm(const Tensor4f& input, const Tensor4f& kernels,
   const std::size_t tiles_w = (out_w + mm - 1) / mm;
   const std::size_t tiles = tiles_h * tiles_w * is.n;
 
-  // Scatter phase: U[(xi,nu)][c][tile], V[(xi,nu)][k][c].
+  // Scatter phase: pack the transformed kernels and data into the
+  // per-coordinate matrices U[(xi,nu)] = [K x C] and V[(xi,nu)] =
+  // [C x tiles] once per call — the layer-level packing the batched GEMMs
+  // below consume (filter transforms themselves are cached across forward
+  // calls at the nn layer, see nn/forward.cpp).
   const TransformedKernels tk(xf, kernels);
   std::vector<float> scattered_v(nsq * ks.n * ks.c);
   for (std::size_t k = 0; k < ks.n; ++k) {
@@ -45,80 +52,74 @@ Tensor4f conv2d_winograd_gemm(const Tensor4f& input, const Tensor4f& kernels,
     }
   }
 
+  const std::size_t tiles_per_img = tiles_h * tiles_w;
   std::vector<float> scattered_u(nsq * is.c * tiles);
-  {
+  // Tiles are independent and write disjoint columns of every U matrix,
+  // so the flattened (img, th, tw) loop is parallel with per-chunk
+  // scratch.
+  runtime::parallel_for(tiles, [&](std::size_t begin, std::size_t end) {
     std::vector<float> d(nsq);
     std::vector<float> u(nsq);
-    std::size_t tile_idx = 0;
-    for (std::size_t img = 0; img < is.n; ++img) {
-      for (std::size_t th = 0; th < tiles_h; ++th) {
-        for (std::size_t tw = 0; tw < tiles_w; ++tw, ++tile_idx) {
-          const std::ptrdiff_t y0 =
-              static_cast<std::ptrdiff_t>(th * mm) - pad;
-          const std::ptrdiff_t x0 =
-              static_cast<std::ptrdiff_t>(tw * mm) - pad;
-          for (std::size_t c = 0; c < is.c; ++c) {
-            for (std::size_t i = 0; i < n; ++i) {
-              for (std::size_t j = 0; j < n; ++j) {
-                d[i * n + j] = input.padded(
-                    img, c, y0 + static_cast<std::ptrdiff_t>(i),
-                    x0 + static_cast<std::ptrdiff_t>(j));
-              }
-            }
-            xf.transform_data(d, u);
-            for (std::size_t e = 0; e < nsq; ++e) {
-              scattered_u[(e * is.c + c) * tiles + tile_idx] = u[e];
-            }
+    for (std::size_t tile_idx = begin; tile_idx < end; ++tile_idx) {
+      const std::size_t img = tile_idx / tiles_per_img;
+      const std::size_t th = (tile_idx % tiles_per_img) / tiles_w;
+      const std::size_t tw = tile_idx % tiles_w;
+      const std::ptrdiff_t y0 = static_cast<std::ptrdiff_t>(th * mm) - pad;
+      const std::ptrdiff_t x0 = static_cast<std::ptrdiff_t>(tw * mm) - pad;
+      for (std::size_t c = 0; c < is.c; ++c) {
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            d[i * n + j] =
+                input.padded(img, c, y0 + static_cast<std::ptrdiff_t>(i),
+                             x0 + static_cast<std::ptrdiff_t>(j));
           }
+        }
+        xf.transform_data(d, u);
+        for (std::size_t e = 0; e < nsq; ++e) {
+          scattered_u[(e * is.c + c) * tiles + tile_idx] = u[e];
         }
       }
     }
-  }
+  });
 
-  // GEMM phase: nsq independent [K x C] x [C x tiles] products.
-  std::vector<float> products(nsq * ks.n * tiles, 0.0F);
-  for (std::size_t e = 0; e < nsq; ++e) {
-    const float* vmat = &scattered_v[e * ks.n * ks.c];
-    const float* umat = &scattered_u[e * is.c * tiles];
-    float* out = &products[e * ks.n * tiles];
-    for (std::size_t k = 0; k < ks.n; ++k) {
-      for (std::size_t c = 0; c < ks.c; ++c) {
-        const float vkc = vmat[k * ks.c + c];
-        if (vkc == 0.0F) continue;
-        const float* urow = &umat[c * tiles];
-        float* orow = &out[k * tiles];
-        for (std::size_t b = 0; b < tiles; ++b) orow[b] += vkc * urow[b];
-      }
-    }
-  }
+  // GEMM phase: nsq independent [K x C] x [C x tiles] products, batched
+  // onto the shared blocked/SIMD core (Lavin & Gray's mapping of the
+  // channel reduction onto dense GEMMs, executed by a fast kernel).
+  std::vector<float> products(nsq * ks.n * tiles);
+  runtime::sgemm_batched(nsq, ks.n, tiles, ks.c, 1.0F, scattered_v.data(),
+                         ks.c, ks.n * ks.c, scattered_u.data(), tiles,
+                         is.c * tiles, 0.0F, products.data(), tiles,
+                         ks.n * tiles);
 
   // Gather phase: per (k, tile), collect the nsq products and inverse-
-  // transform into the output tile.
+  // transform into the output tile. Output channels are independent.
   Tensor4f out(is.n, ks.n, out_h, out_w);
-  std::vector<float> m_tile(nsq);
-  std::vector<float> y(mm * mm);
-  for (std::size_t k = 0; k < ks.n; ++k) {
-    std::size_t tile_idx = 0;
-    for (std::size_t img = 0; img < is.n; ++img) {
-      for (std::size_t th = 0; th < tiles_h; ++th) {
-        for (std::size_t tw = 0; tw < tiles_w; ++tw, ++tile_idx) {
-          for (std::size_t e = 0; e < nsq; ++e) {
-            m_tile[e] = products[(e * ks.n + k) * tiles + tile_idx];
-          }
-          xf.inverse(m_tile, y);
-          for (std::size_t i = 0; i < mm; ++i) {
-            const std::size_t oy = th * mm + i;
-            if (oy >= out_h) break;
-            for (std::size_t j = 0; j < mm; ++j) {
-              const std::size_t ox = tw * mm + j;
-              if (ox >= out_w) break;
-              out(img, k, oy, ox) = y[i * mm + j];
+  runtime::parallel_for(ks.n, [&](std::size_t kb, std::size_t ke) {
+    std::vector<float> m_tile(nsq);
+    std::vector<float> y(mm * mm);
+    for (std::size_t k = kb; k < ke; ++k) {
+      std::size_t tile_idx = 0;
+      for (std::size_t img = 0; img < is.n; ++img) {
+        for (std::size_t th = 0; th < tiles_h; ++th) {
+          for (std::size_t tw = 0; tw < tiles_w; ++tw, ++tile_idx) {
+            for (std::size_t e = 0; e < nsq; ++e) {
+              m_tile[e] = products[(e * ks.n + k) * tiles + tile_idx];
+            }
+            xf.inverse(m_tile, y);
+            for (std::size_t i = 0; i < mm; ++i) {
+              const std::size_t oy = th * mm + i;
+              if (oy >= out_h) break;
+              for (std::size_t j = 0; j < mm; ++j) {
+                const std::size_t ox = tw * mm + j;
+                if (ox >= out_w) break;
+                out(img, k, oy, ox) = y[i * mm + j];
+              }
             }
           }
         }
       }
     }
-  }
+  });
   return out;
 }
 

@@ -121,13 +121,27 @@ Tensor4f conv2d_winograd(const Tensor4f& input, const Tensor4f& kernels,
 Tensor4f conv2d_winograd(const Tensor4f& input, const Tensor4f& kernels,
                          const TileTransformer& xf,
                          const WinogradConvOptions& opt) {
-  const auto& is = input.shape();
   const auto& ks = kernels.shape();
   const auto r = static_cast<std::size_t>(xf.r());
   if (ks.h != r || ks.w != r) {
     throw std::invalid_argument("conv2d_winograd: kernel shape mismatch");
   }
-  if (ks.c != is.c) {
+  const TransformedKernels tk(xf, kernels);
+  return conv2d_winograd(input, tk, xf, opt);
+}
+
+Tensor4f conv2d_winograd(const Tensor4f& input, const TransformedKernels& tk,
+                         const TileTransformer& xf,
+                         const WinogradConvOptions& opt) {
+  const auto& is = input.shape();
+  const std::size_t kernel_count = tk.kernel_count();
+  const auto r = static_cast<std::size_t>(xf.r());
+  const auto tile = static_cast<std::size_t>(xf.tile());
+  if (tk.tile_area() != tile * tile) {
+    throw std::invalid_argument(
+        "conv2d_winograd: kernel bank was transformed for a different tile");
+  }
+  if (tk.channels() != is.c) {
     throw std::invalid_argument("conv2d_winograd: channel mismatch");
   }
   const int pad = opt.pad;
@@ -147,8 +161,7 @@ Tensor4f conv2d_winograd(const Tensor4f& input, const Tensor4f& kernels,
   const std::size_t tiles_h = (out_h + mm - 1) / mm;
   const std::size_t tiles_w = (out_w + mm - 1) / mm;
 
-  const TransformedKernels tk(xf, kernels);
-  Tensor4f out(is.n, ks.n, out_h, out_w);
+  Tensor4f out(is.n, kernel_count, out_h, out_w);
 
   std::vector<float> d(nsq);
   // Data transforms for all channels of the current tile, computed once
@@ -179,7 +192,7 @@ Tensor4f conv2d_winograd(const Tensor4f& input, const Tensor4f& kernels,
           xf.transform_data(d, {u_all.data() + c * nsq, nsq});
         }
 
-        for (std::size_t k = 0; k < ks.n; ++k) {
+        for (std::size_t k = 0; k < kernel_count; ++k) {
           std::fill(acc_m.begin(), acc_m.end(), 0.0F);
           std::fill(acc_y.begin(), acc_y.end(), 0.0F);
           for (std::size_t c = 0; c < is.c; ++c) {

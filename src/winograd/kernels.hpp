@@ -53,6 +53,11 @@ class TileTransformer {
   void convolve_1d(std::span<const float> d, std::span<const float> g,
                    std::span<float> y) const;
 
+  /// The float inverse-transform matrix A^T (m rows x n cols). Exposed so
+  /// consumers can batch many inverse transforms Y = A^T M A as two dense
+  /// GEMMs on the shared runtime core (see hw/winograd_engine.cpp).
+  [[nodiscard]] const FMatrix& at_matrix() const { return at_; }
+
  private:
   // Apply `mat` (rows x cols) along rows then columns of a square tile:
   // out = mat * in * mat^T, in: cols x cols, out: rows x rows.
@@ -85,6 +90,9 @@ class TransformedKernels {
   }
   [[nodiscard]] std::size_t kernel_count() const { return kernels_; }
   [[nodiscard]] std::size_t channels() const { return channels_; }
+  /// Floats per transformed tile, (m+r-1)^2 for the transformer that
+  /// built this bank; consumers validate it against their own transformer.
+  [[nodiscard]] std::size_t tile_area() const { return tile_sq_; }
 
  private:
   std::size_t kernels_ = 0;
@@ -105,6 +113,16 @@ tensor::Tensor4f conv2d_winograd(const tensor::Tensor4f& input,
 /// regeneration in inner loops).
 tensor::Tensor4f conv2d_winograd(const tensor::Tensor4f& input,
                                  const tensor::Tensor4f& kernels,
+                                 const TileTransformer& xf,
+                                 const WinogradConvOptions& opt = {});
+
+/// As above with the pre-transformed kernel bank supplied by the caller —
+/// the serving path: filter transforms are computed once per (layer,
+/// weights version) and reused across forward calls (see the cache in
+/// nn/forward.cpp), matching the paper's "filter transforms are assumed
+/// to be precomputed".
+tensor::Tensor4f conv2d_winograd(const tensor::Tensor4f& input,
+                                 const TransformedKernels& tk,
                                  const TileTransformer& xf,
                                  const WinogradConvOptions& opt = {});
 

@@ -94,5 +94,40 @@ TEST(Matrix, MapProjection) {
   EXPECT_DOUBLE_EQ(d(0, 1), 0.75);
 }
 
+TEST(Matrix, LargeFloatProductUsesGemmAndMatchesTripleLoop) {
+  // Above the dispatch threshold operator* routes float products to the
+  // shared blocked SIMD GEMM core. K fits one reduction panel, so the
+  // result must be bit-identical to the incremental triple loop (each
+  // element accumulates in ascending k either way).
+  const std::size_t n = 80;  // 80^3 > 64^3 threshold
+  Matrix<float> a(n, n);
+  Matrix<float> b(n, n);
+  std::uint32_t state = 1;
+  auto next = [&state] {
+    state = state * 1664525u + 1013904223u;
+    return static_cast<float>(state >> 8) / static_cast<float>(1u << 24) -
+           0.5F;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = next();
+      b(i, j) = next();
+    }
+  }
+  const Matrix<float> got = a * b;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float want = 0.0F;
+      for (std::size_t k = 0; k < n; ++k) {
+        // Two statements so no compiler contracts the multiply-add into
+        // an FMA (the GEMM core promises one rounding per op).
+        const float p = a(i, k) * b(k, j);
+        want += p;
+      }
+      ASSERT_EQ(got(i, j), want) << i << "," << j;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace wino::common

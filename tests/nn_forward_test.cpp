@@ -108,5 +108,57 @@ TEST(ConvAlgoNames, AllDistinct) {
   EXPECT_NE(to_string(ConvAlgo::kSpatial), to_string(ConvAlgo::kIm2col));
 }
 
+TEST(TransformCache, RepeatedForwardHitsInsteadOfRetransforming) {
+  const auto layers = vgg16_d_scaled(28, 16);  // 8x8 input, tiny
+  const WeightBank weights = random_weights(layers, 7);
+  Tensor4f input(2, 3, 8, 8);
+  Rng rng(19);
+  rng.fill_uniform(input.flat());
+
+  clear_transform_cache();
+  const Tensor4f first =
+      forward(layers, weights, input, ConvAlgo::kWinograd2);
+  const auto after_first = transform_cache_stats();
+  const std::size_t conv_layers = weights.conv_kernels.size();
+  EXPECT_EQ(after_first.misses, conv_layers);
+  EXPECT_EQ(after_first.entries, conv_layers);
+
+  // The serving shape: same weights, another call. No new transforms.
+  const Tensor4f second =
+      forward(layers, weights, input, ConvAlgo::kWinograd2);
+  const auto after_second = transform_cache_stats();
+  EXPECT_EQ(after_second.misses, after_first.misses);
+  EXPECT_GT(after_second.hits, after_first.hits);
+  EXPECT_EQ(tensor::max_abs_diff(first, second), 0.0F);
+
+  // Distinct F(m) tiles are distinct cache entries, not collisions.
+  forward(layers, weights, input, ConvAlgo::kWinograd4);
+  EXPECT_EQ(transform_cache_stats().misses, 2 * conv_layers);
+  clear_transform_cache();
+  EXPECT_EQ(transform_cache_stats().entries, 0u);
+}
+
+TEST(TransformCache, BumpVersionInvalidatesStaleTransforms) {
+  const auto layers = vgg16_d_scaled(28, 16);
+  WeightBank weights = random_weights(layers, 9);
+  Tensor4f input(1, 3, 8, 8);
+  Rng rng(23);
+  rng.fill_uniform(input.flat());
+
+  clear_transform_cache();
+  const Tensor4f before =
+      forward(layers, weights, input, ConvAlgo::kWinograd2);
+  const auto cold = transform_cache_stats();
+
+  // Mutate a kernel in place; without a version bump the cache would keep
+  // serving transforms of the old values.
+  for (float& v : weights.conv_kernels[0].flat()) v *= 2.0F;
+  weights.bump_version();
+  const Tensor4f after =
+      forward(layers, weights, input, ConvAlgo::kWinograd2);
+  EXPECT_GT(transform_cache_stats().misses, cold.misses);
+  EXPECT_GT(tensor::max_abs_diff(before, after), 0.0F);
+}
+
 }  // namespace
 }  // namespace wino::nn

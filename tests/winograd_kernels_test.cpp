@@ -230,5 +230,19 @@ TEST(TransformedKernels, LayoutAndValues) {
   }
 }
 
+TEST(Conv2dWinograd, RejectsKernelBankFromDifferentTile) {
+  // The cached-transform overload must refuse a TransformedKernels bank
+  // built for another F(m): the tile areas differ and reading it with the
+  // wrong transformer would run past the per-kernel spans.
+  const TileTransformer xf2(transforms(2, 3));
+  const TileTransformer xf4(transforms(4, 3));
+  tensor::Tensor4f kernels(2, 3, 3, 3, 0.5F);
+  const TransformedKernels tk2(xf2, kernels);
+  const tensor::Tensor4f input(1, 3, 8, 8, 1.0F);
+  EXPECT_THROW(conv2d_winograd(input, tk2, xf4, {}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(conv2d_winograd(input, tk2, xf2, {}));
+}
+
 }  // namespace
 }  // namespace wino::winograd
