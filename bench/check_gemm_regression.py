@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""CI gate: fail when the 512^3 GEMM throughput in a BENCH_gemm.json falls
+more than the allowed fraction below the committed per-kernel baseline.
+
+Usage: check_gemm_regression.py <BENCH_gemm.json> <baseline.json>
+
+The baseline file (bench/baselines/BENCH_gemm_baseline.json) pins one
+number per compiled micro-kernel (avx2/neon/scalar) for the shape named in
+its "shape" field; the gate compares baseline["metric"] of that shape and
+fails below baseline * (1 - allowed_regression). Unknown kernels skip the
+gate with a warning rather than failing, so exotic build configs don't
+break CI.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        bench = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+
+    kernel = bench.get("kernel", "unknown")
+    shape_name = baseline["shape"]
+    metric = baseline["metric"]
+    shape = next(
+        (s for s in bench.get("shapes", []) if s.get("name") == shape_name),
+        None,
+    )
+    if shape is None:
+        print(f"FAIL: shape '{shape_name}' missing from {sys.argv[1]} — "
+              "the gated reference point was dropped from the bench")
+        return 1
+
+    base = baseline["kernels"].get(kernel)
+    if base is None:
+        print(f"WARNING: no committed baseline for kernel '{kernel}'; "
+              "skipping the regression gate")
+        return 0
+
+    floor = base * (1.0 - baseline["allowed_regression"])
+    got = shape[metric]
+    verdict = "OK" if got >= floor else "FAIL"
+    print(f"{verdict}: {shape_name} {metric} = {got:.2f} GFLOP/s on "
+          f"'{kernel}' (baseline {base:.2f}, floor {floor:.2f})")
+    return 0 if got >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,10 +3,15 @@
 // layer per backend (channel-parallel), and the cycle-level hw engine
 // (tile-parallel). Also asserts the determinism contract: every thread
 // count must produce bit-identical outputs.
+//
+// Usage: runtime_scaling [--out <path>]
+//   Emits BENCH_runtime_scaling.json next to the binary (or at --out).
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "common/bench_io.hpp"
 #include "common/random.hpp"
 #include "common/table.hpp"
 #include "hw/engine_config.hpp"
@@ -34,8 +39,15 @@ std::pair<double, Tensor4f> timed(Fn&& fn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const std::vector<std::size_t> thread_counts = {1, 2, 4};
+  struct Point {
+    std::size_t threads;
+    double rate;
+    double speedup;
+  };
+  std::vector<Point> fwd_points;
+  std::vector<Point> hw_points;
 
   // --- Batch-parallel forward on a scaled VGG16-D stack ------------------
   const auto layers = wino::nn::vgg16_d_scaled(7, 8);  // 32x32 input
@@ -65,6 +77,8 @@ int main() {
     }
     const double diff = wino::tensor::max_abs_diff(fwd_ref, out);
     if (t == 4) fwd_speedup_at4 = fwd_base / sec;
+    fwd_points.push_back(
+        {t, static_cast<double>(kBatch) / sec, fwd_base / sec});
     fwd.row({std::to_string(t),
              wino::common::TextTable::num(static_cast<double>(kBatch) / sec),
              wino::common::TextTable::num(fwd_base / sec),
@@ -102,6 +116,7 @@ int main() {
       hw_ref = out;
     }
     const double diff = wino::tensor::max_abs_diff(hw_ref, out);
+    hw_points.push_back({t, 1.0 / sec, hw_base / sec});
     hw.row({std::to_string(t), wino::common::TextTable::num(1.0 / sec),
             wino::common::TextTable::num(hw_base / sec),
             wino::common::TextTable::num(diff, 6)});
@@ -114,5 +129,34 @@ int main() {
   std::printf("\n");
 
   std::printf("forward speedup at 4 threads: %.2fx\n", fwd_speedup_at4);
+
+  // --- BENCH_runtime_scaling.json ----------------------------------------
+  const std::string json_path = wino::common::bench_output_path(
+      argc, argv, "BENCH_runtime_scaling.json");
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::printf("warning: could not open %s for writing\n",
+                json_path.c_str());
+    return 0;
+  }
+  const auto emit_points = [json](const char* name,
+                                  const std::vector<Point>& points,
+                                  bool trailing_comma) {
+    std::fprintf(json, "  \"%s\": [\n", name);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::fprintf(json,
+                   "    {\"threads\": %zu, \"rate_per_s\": %.4f, "
+                   "\"speedup\": %.4f}%s\n",
+                   points[i].threads, points[i].rate, points[i].speedup,
+                   i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]%s\n", trailing_comma ? "," : "");
+  };
+  std::fprintf(json, "{\n  \"bench\": \"runtime_scaling\",\n");
+  emit_points("forward_img_per_s", fwd_points, true);
+  emit_points("hw_engine_runs_per_s", hw_points, true);
+  std::fprintf(json, "  \"deterministic\": true\n}\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }

@@ -1,0 +1,50 @@
+// Where bench binaries put their BENCH_*.json artifacts.
+//
+// The seed benches wrote to the current working directory, so the artifact
+// location depended on where CI happened to invoke the binary. Benches now
+// resolve an explicit `--out <path>` flag first and otherwise write next to
+// the binary itself, so `build/bench/BENCH_*.json` is a stable pattern for
+// artifact collection regardless of cwd.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace wino::common {
+
+/// True when `flag` appears anywhere in argv[1..argc).
+inline bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
+/// Resolve the output path for a bench artifact named `default_name`:
+/// 1. an explicit `--out <path>` argument wins verbatim;
+/// 2. otherwise the file lands in the running binary's directory
+///    (via /proc/self/exe, falling back to argv[0]);
+/// 3. otherwise (binary path unresolvable) the bare name, i.e. the cwd.
+inline std::string bench_output_path(int argc, char** argv,
+                                     const std::string& default_name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) != "--out") continue;
+    if (i + 1 < argc) return argv[i + 1];
+    std::fprintf(stderr,
+                 "warning: --out requires a path; writing %s next to the "
+                 "binary instead\n",
+                 default_name.c_str());
+    break;
+  }
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path exe = fs::read_symlink("/proc/self/exe", ec);
+  if (ec) exe = argc > 0 ? fs::path(argv[0]) : fs::path();
+  if (exe.has_parent_path()) {
+    return (exe.parent_path() / default_name).string();
+  }
+  return default_name;
+}
+
+}  // namespace wino::common

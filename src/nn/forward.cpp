@@ -317,6 +317,29 @@ void prewarm_transforms(const std::vector<LayerSpec>& layers,
   }
 }
 
+/// Images a worker chunk marches through the stack together when filter
+/// transforms come from the cross-call cache. Larger sub-batches feed the
+/// Winograd coordinate GEMMs more rows (packing amortised over the batch),
+/// but multiply the transform-domain working set — (m+r-1)²/m² times the
+/// fattest layer's activations per image — so the size is capped to keep
+/// that set cache-resident. Chunk composition never changes results
+/// (image independence; pinned by tests/serve_test.cpp).
+std::size_t cached_subbatch(const std::vector<LayerSpec>& layers, int m) {
+  std::size_t worst_bytes = 1;
+  for (const auto& l : layers) {
+    if (l.kind != LayerKind::kConv) continue;
+    // Transform-domain expansion is (m+r-1)^2 / m^2 per layer tile size.
+    const std::size_t alpha = static_cast<std::size_t>(m) + l.conv.r - 1;
+    const std::size_t bytes = l.conv.h * l.conv.w * (l.conv.c + l.conv.k) *
+                              sizeof(float) * (alpha * alpha) /
+                              (static_cast<std::size_t>(m) * m);
+    worst_bytes = std::max(worst_bytes, bytes);
+  }
+  // Roughly half a typical L2 slice, leaving room for kernels + scratch.
+  constexpr std::size_t kCacheBudget = 768u << 10;
+  return std::max<std::size_t>(1, kCacheBudget / worst_bytes);
+}
+
 }  // namespace
 
 Tensor4f forward(const std::vector<LayerSpec>& layers,
@@ -326,21 +349,29 @@ Tensor4f forward(const std::vector<LayerSpec>& layers,
   const auto& is = input.shape();
   // Batch-parallel: every layer treats images independently, so running a
   // contiguous sub-batch through the stack alone reproduces the batched
-  // result bit-for-bit. Splitting into per-thread sub-batches (not single
-  // images) keeps per-call kernel preprocessing — FFT kernel transforms,
-  // Winograd TransformedKernels — to at most thread-count repeats.
+  // result bit-for-bit. For algorithms with real per-call kernel
+  // preprocessing (FFT kernel transforms) the split is per-thread
+  // sub-batches, keeping that prep to at most thread-count repeats. The
+  // Winograd algos read their filter transforms from the cross-call cache
+  // instead, so their chunks walk the batch in cache-budgeted sub-batches
+  // (see cached_subbatch) — bit-identical either way.
   if (is.n <= 1) return forward_sequential(layers, weights, input, algo);
+  const int wino_m = winograd_m(algo);
+  const std::size_t cap =
+      wino_m > 0 ? cached_subbatch(layers, wino_m) : is.n;
 
   const std::size_t image_volume = is.c * is.h * is.w;
   std::vector<Tensor4f> per_chunk(is.n);
   std::vector<std::size_t> chunk_first(is.n, 0);
   runtime::parallel_for(is.n, [&](std::size_t begin, std::size_t end) {
-    Tensor4f sub(end - begin, is.c, is.h, is.w);
-    const auto src =
-        input.flat().subspan(begin * image_volume, sub.size());
-    std::copy(src.begin(), src.end(), sub.flat().begin());
-    per_chunk[begin] = forward_sequential(layers, weights, sub, algo);
-    chunk_first[begin] = 1;
+    for (std::size_t i = begin; i < end; i += cap) {
+      const std::size_t count = std::min(cap, end - i);
+      Tensor4f sub(count, is.c, is.h, is.w);
+      const auto src = input.flat().subspan(i * image_volume, sub.size());
+      std::copy(src.begin(), src.end(), sub.flat().begin());
+      per_chunk[i] = forward_sequential(layers, weights, sub, algo);
+      chunk_first[i] = 1;
+    }
   });
 
   // Chunk results are keyed by their first image index; stitch in order.
@@ -358,6 +389,49 @@ Tensor4f forward(const std::vector<LayerSpec>& layers,
     std::copy(src.begin(), src.end(), dst.begin());
   }
   return out;
+}
+
+Tensor4f stack_images(const std::vector<const Tensor4f*>& images) {
+  if (images.empty()) {
+    throw std::invalid_argument("stack_images: no images");
+  }
+  for (const Tensor4f* img : images) {
+    if (img == nullptr) {
+      throw std::invalid_argument("stack_images: null image");
+    }
+  }
+  std::size_t total = 0;
+  const auto& first = images.front()->shape();
+  for (const Tensor4f* img : images) {
+    const auto& s = img->shape();
+    if (s.c != first.c || s.h != first.h || s.w != first.w) {
+      throw std::invalid_argument("stack_images: mismatched image shapes");
+    }
+    total += s.n;
+  }
+  Tensor4f batch(total, first.c, first.h, first.w);
+  auto dst = batch.flat();
+  std::size_t offset = 0;
+  for (const Tensor4f* img : images) {
+    const auto src = img->flat();
+    std::copy(src.begin(), src.end(), dst.begin() + offset);
+    offset += src.size();
+  }
+  return batch;
+}
+
+std::vector<Tensor4f> unstack_images(const Tensor4f& batch) {
+  const auto& s = batch.shape();
+  const std::size_t volume = s.c * s.h * s.w;
+  std::vector<Tensor4f> images;
+  images.reserve(s.n);
+  for (std::size_t n = 0; n < s.n; ++n) {
+    Tensor4f img(1, s.c, s.h, s.w);
+    const auto src = batch.flat().subspan(n * volume, volume);
+    std::copy(src.begin(), src.end(), img.flat().begin());
+    images.push_back(std::move(img));
+  }
+  return images;
 }
 
 std::vector<LayerSpec> vgg16_d_scaled(std::size_t scale,

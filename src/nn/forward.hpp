@@ -73,10 +73,34 @@ WeightBank random_weights(const std::vector<LayerSpec>& layers,
 ///
 /// Batches run image-parallel on the runtime's global ThreadPool; every
 /// layer treats images independently, so the result is bit-identical for
-/// any thread count (see tests/runtime_test.cpp).
+/// any thread count (see tests/runtime_test.cpp) — and each image's output
+/// is bit-identical to running that image through forward() alone,
+/// whatever batch it rides in (the property the serving layer's dynamic
+/// batcher relies on; pinned by tests/serve_test.cpp).
+///
+/// \param layers  the layer stack (conv / maxpool / fully-connected).
+/// \param weights weights produced by random_weights() for the same stack.
+/// \param input   NCHW activation batch matching the first layer.
+/// \param algo    convolution algorithm for every conv layer.
 tensor::Tensor4f forward(const std::vector<LayerSpec>& layers,
                          const WeightBank& weights,
                          const tensor::Tensor4f& input, ConvAlgo algo);
+
+/// Batch-entry API: pack independently owned image tensors into one
+/// contiguous NCHW batch for forward(). Every entry must share the same
+/// (c, h, w); entries may themselves be mini-batches (n >= 1) and are
+/// concatenated along n in order. Used by serve::InferenceServer to
+/// coalesce queued single-image requests into a batched forward call.
+///
+/// \param images non-empty list of non-null tensors of identical
+///               per-image shape.
+/// \return batch of shape (sum of n_i, c, h, w).
+tensor::Tensor4f stack_images(
+    const std::vector<const tensor::Tensor4f*>& images);
+
+/// Inverse of stack_images for single-image consumers: split a batched
+/// activation into one (1, c, h, w) tensor per image, preserving order.
+std::vector<tensor::Tensor4f> unstack_images(const tensor::Tensor4f& batch);
 
 /// Counters for the process-wide transformed-kernel cache that forward()
 /// consults for Winograd conv layers (keyed by layer index, m, r and the

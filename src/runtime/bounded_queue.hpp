@@ -1,0 +1,124 @@
+// Bounded multi-producer / multi-consumer FIFO — the hand-off primitive
+// between request submitters, the dynamic batcher and the batch workers in
+// src/serve/. Classic mutex + two-condvar design: no lock-free cleverness,
+// because the serving layer's throughput is dominated by the GEMMs behind
+// it, and a mutexed deque is trivially correct under MPMC use.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace wino::runtime {
+
+/// \brief Bounded blocking MPMC queue.
+///
+/// Any number of producers and consumers may call concurrently. FIFO order
+/// is global (a single popped sequence interleaves producers in lock
+/// acquisition order). `close()` transitions the queue to a draining state:
+/// further pushes fail, pops keep returning the remaining items and then
+/// `std::nullopt` forever — consumers use that as their exit signal.
+///
+/// \tparam T element type; moved in and out, never copied.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// \param capacity maximum queued elements (clamped to at least 1).
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocking push: waits while the queue is full.
+  /// \return false iff the queue was closed (the value is dropped).
+  bool push(T value) {
+    {
+      std::unique_lock lock(mutex_);
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push. \return false when full or closed.
+  bool try_push(T value) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop: waits for an element or for close().
+  /// \return the front element, or std::nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    return take(lock);
+  }
+
+  /// Pop with a timeout.
+  /// \return the front element; std::nullopt on timeout or closed+drained
+  /// (disambiguate with closed() if it matters).
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait_for(lock, timeout,
+                        [&] { return closed_ || !items_.empty(); });
+    return take(lock);
+  }
+
+  /// Close the queue: wakes every waiter; subsequent pushes fail, pops
+  /// drain the remaining items. Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  /// Instantaneous element count (racy by nature; for stats/tests).
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  /// Pop the front under `lock`, then unlock and wake one producer.
+  std::optional<T> take(std::unique_lock<std::mutex>& lock) {
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace wino::runtime

@@ -37,11 +37,20 @@ enum class GemmKernel {
   kScalar,
 };
 
-/// C = alpha * A * B + beta * C with the blocked/packed/SIMD core.
-/// A: m x k row-major with row stride lda; B: k x n, stride ldb;
-/// C: m x n, stride ldc. beta == 0 overwrites C (stale/NaN contents are
-/// ignored, BLAS-style). Parallelises over C row-panels on the global
-/// ThreadPool; safe to call from inside a parallel_for body (runs inline).
+/// \brief C = alpha * A * B + beta * C with the blocked/packed/SIMD core.
+///
+/// beta == 0 overwrites C (stale/NaN contents are ignored, BLAS-style).
+/// Parallelises over C row-panels on the global ThreadPool; safe to call
+/// from inside a parallel_for body (runs inline).
+///
+/// \param m,n,k  GEMM extents: A is m x k, B is k x n, C is m x n.
+/// \param alpha  scale applied to every A*B product.
+/// \param a,lda  row-major A and its row stride (lda >= k).
+/// \param b,ldb  row-major B and its row stride (ldb >= n).
+/// \param beta   scale applied to C's prior contents (0 = overwrite).
+/// \param c,ldc  row-major C and its row stride (ldc >= n).
+/// \param kernel micro-kernel override; kAuto and kScalar produce
+///               bit-identical results (see the determinism contract).
 void sgemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
            const float* a, std::size_t lda, const float* b, std::size_t ldb,
            float beta, float* c, std::size_t ldc,
@@ -55,10 +64,17 @@ void sgemm_naive(std::size_t m, std::size_t n, std::size_t k, float alpha,
                  const float* a, std::size_t lda, const float* b,
                  std::size_t ldb, float beta, float* c, std::size_t ldc);
 
-/// `count` independent GEMMs of identical shape at fixed strides between
-/// consecutive A/B/C operands (the Winograd transform-domain layout).
+/// \brief `count` independent GEMMs of identical shape at fixed strides
+/// between consecutive A/B/C operands (the Winograd transform-domain
+/// layout).
+///
 /// Parallelises across the batch; each member is bit-identical to a lone
 /// sgemm call on the same operands.
+///
+/// \param count                        number of GEMMs in the batch.
+/// \param stride_a,stride_b,stride_c   element offsets between operand i
+///                                     and operand i+1 of A, B and C.
+/// The remaining parameters match sgemm() and apply to every member.
 void sgemm_batched(std::size_t count, std::size_t m, std::size_t n,
                    std::size_t k, float alpha, const float* a,
                    std::size_t lda, std::size_t stride_a, const float* b,

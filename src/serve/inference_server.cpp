@@ -1,0 +1,311 @@
+#include "serve/inference_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <unordered_map>
+#include <utility>
+
+namespace wino::serve {
+
+using tensor::Tensor4f;
+
+namespace {
+
+ServerConfig sanitized(ServerConfig config) {
+  config.max_batch = std::max<std::size_t>(1, config.max_batch);
+  config.max_inflight = std::max<std::size_t>(1, config.max_inflight);
+  config.worker_threads = std::max<std::size_t>(1, config.worker_threads);
+  return config;
+}
+
+double microseconds_between(std::chrono::steady_clock::time_point from,
+                            std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(ServerConfig config)
+    : config_(sanitized(std::move(config))),
+      queue_(config_.max_inflight),
+      batch_queue_(config_.max_inflight),
+      stats_(config_.max_batch) {
+  batcher_ = std::thread(&InferenceServer::batcher_loop, this);
+  workers_.reserve(config_.worker_threads);
+  for (std::size_t i = 0; i < config_.worker_threads; ++i) {
+    workers_.emplace_back(&InferenceServer::worker_loop, this);
+  }
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+ModelId InferenceServer::add_model(std::string name,
+                                   std::vector<nn::LayerSpec> layers,
+                                   nn::WeightBank weights, nn::ConvAlgo algo) {
+  if (layers.empty()) {
+    throw std::invalid_argument("add_model: empty layer stack");
+  }
+  auto model = std::make_shared<const Model>(
+      Model{std::move(name), std::move(layers), std::move(weights), algo});
+  std::lock_guard lock(models_mutex_);
+  models_.push_back(std::move(model));
+  return models_.size() - 1;
+}
+
+std::shared_ptr<const InferenceServer::Model> InferenceServer::find_model(
+    ModelId model) const {
+  std::lock_guard lock(models_mutex_);
+  if (model >= models_.size()) {
+    throw std::invalid_argument("InferenceServer: unknown model id");
+  }
+  return models_[model];
+}
+
+std::future<Tensor4f> InferenceServer::submit(ModelId model,
+                                              Tensor4f image) {
+  const auto session = find_model(model);
+  const auto& shape = image.shape();
+  if (shape.n != 1) {
+    throw std::invalid_argument(
+        "InferenceServer::submit: expected a single image (n == 1); batching "
+        "is the server's job");
+  }
+  // Validate the shape as far as the first layer determines it, so one
+  // malformed request cannot poison the whole batch it gets coalesced
+  // into (stack_images would throw on the worker, failing every future).
+  if (session->layers.front().kind == nn::LayerKind::kConv) {
+    const auto& conv = session->layers.front().conv;
+    if (shape.c != conv.c || shape.h != conv.h || shape.w != conv.w) {
+      throw std::invalid_argument(
+          "InferenceServer::submit: image shape does not match model '" +
+          session->name + "' input");
+    }
+  } else if (session->layers.front().kind ==
+             nn::LayerKind::kFullyConnected) {
+    if (shape.c * shape.h * shape.w != session->layers.front().fc_in) {
+      throw std::invalid_argument(
+          "InferenceServer::submit: image volume does not match model '" +
+          session->name + "' fc input");
+    }
+  }
+
+  // Admission control: bound submitted-but-not-completed requests.
+  {
+    std::unique_lock lock(inflight_mutex_);
+    if (!accepting_) {
+      throw std::runtime_error(
+          "InferenceServer::submit: server is shut down");
+    }
+    if (inflight_ >= config_.max_inflight) {
+      if (config_.backpressure == BackpressurePolicy::kReject) {
+        stats_.on_reject();
+        throw ServerOverloaded("InferenceServer::submit: " +
+                               std::to_string(inflight_) +
+                               " requests in flight (max_inflight reached)");
+      }
+      // Counted so shutdown() can wait until every parked submitter has
+      // left this wait before the destructor tears the cv/mutex down.
+      ++blocked_submitters_;
+      inflight_cv_.wait(lock, [&] {
+        return !accepting_ || inflight_ < config_.max_inflight;
+      });
+      --blocked_submitters_;
+      if (!accepting_) {
+        lock.unlock();
+        inflight_cv_.notify_all();  // let shutdown() observe the decrement
+        // Not counted as rejected: that counter is the kReject policy's
+        // alone. This request simply never made it in before shutdown.
+        throw ServerOverloaded(
+            "InferenceServer::submit: server shut down while blocked on "
+            "backpressure");
+      }
+    }
+    ++inflight_;
+  }
+
+  Request request;
+  request.model = model;
+  request.image = std::move(image);
+  request.enqueue = Clock::now();
+  std::future<Tensor4f> result = request.promise.get_future();
+  if (!queue_.push(std::move(request))) {
+    // shutdown() closed the queue between admission and the push; the
+    // request never reached the batcher, so undo its in-flight slot.
+    // (on_submit deliberately hasn't fired yet: the counters must keep
+    // submitted == completed + rejected + inflight reconcilable.)
+    finish_requests(1);
+    throw ServerOverloaded(
+        "InferenceServer::submit: server shut down during submit");
+  }
+  stats_.on_submit();
+  return result;
+}
+
+void InferenceServer::batcher_loop() {
+  struct Pending {
+    std::vector<Request> requests;
+    Clock::time_point deadline{};
+  };
+  std::unordered_map<ModelId, Pending> pending;
+  const auto max_wait = std::chrono::microseconds(config_.max_wait_us);
+
+  const auto flush = [&](ModelId model, Pending& p) {
+    stats_.on_batch(p.requests.size());
+    Batch batch{model, std::move(p.requests)};
+    batch_queue_.push(std::move(batch));  // only this thread closes it
+  };
+  const auto flush_expired = [&](Clock::time_point now) {
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (it->second.deadline <= now) {
+        flush(it->first, it->second);
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  for (;;) {
+    std::optional<Request> request;
+    if (pending.empty()) {
+      request = queue_.pop();
+    } else {
+      auto earliest = Clock::time_point::max();
+      for (const auto& [model, p] : pending) {
+        earliest = std::min(earliest, p.deadline);
+      }
+      const auto now = Clock::now();
+      if (earliest <= now) {
+        flush_expired(now);
+        continue;
+      }
+      request = queue_.pop_for(earliest - now);
+    }
+
+    if (request) {
+      Pending& p = pending[request->model];
+      if (p.requests.empty()) p.deadline = Clock::now() + max_wait;
+      const ModelId model = request->model;
+      p.requests.push_back(std::move(*request));
+      if (p.requests.size() >= config_.max_batch) {
+        flush(model, p);
+        pending.erase(model);
+      }
+    } else if (queue_.closed()) {
+      // Drained after shutdown: dispatch whatever is still pending so no
+      // admitted future is dropped, then stop the workers.
+      for (auto& [model, p] : pending) flush(model, p);
+      pending.clear();
+      break;
+    }
+    flush_expired(Clock::now());
+  }
+  batch_queue_.close();
+}
+
+void InferenceServer::worker_loop() {
+  while (auto batch = batch_queue_.pop()) {
+    execute(std::move(*batch));
+  }
+}
+
+void InferenceServer::execute(Batch batch, bool is_retry) {
+  const std::size_t count = batch.requests.size();
+  try {
+    // Inside the try: a throwing observer fails this batch's futures
+    // instead of escaping the worker thread (std::terminate) — and the
+    // in-flight slots are still released below. Retries are internal
+    // salvage dispatches, not new batches: the observer (like
+    // stats().batches) sees each flushed batch exactly once.
+    if (config_.batch_observer && !is_retry) {
+      config_.batch_observer(batch.model, batch.requests.size());
+    }
+    const auto model = find_model(batch.model);
+    std::vector<const Tensor4f*> images;
+    images.reserve(count);
+    for (const Request& r : batch.requests) images.push_back(&r.image);
+    const Tensor4f input = nn::stack_images(images);
+    const Tensor4f output =
+        nn::forward(model->layers, model->weights, input, model->algo);
+    std::vector<Tensor4f> outputs = nn::unstack_images(output);
+
+    const auto now = Clock::now();
+    for (std::size_t i = 0; i < count; ++i) {
+      batch.requests[i].promise.set_value(std::move(outputs[i]));
+      stats_.on_complete(microseconds_between(batch.requests[i].enqueue, now));
+    }
+  } catch (...) {
+    if (count > 1) {
+      // One request must not poison its batch-mates (e.g. a malformed
+      // image submit() could not fully validate failing stack_images for
+      // everyone): retry each request alone so only the culprit fails.
+      for (Request& r : batch.requests) {
+        Batch single;
+        single.model = batch.model;
+        single.requests.push_back(std::move(r));
+        execute(std::move(single), /*is_retry=*/true);
+      }
+      return;  // the per-request retries released the in-flight slots
+    }
+    const auto error = std::current_exception();
+    const auto now = Clock::now();
+    for (Request& r : batch.requests) {
+      r.promise.set_exception(error);
+      stats_.on_complete(microseconds_between(r.enqueue, now));
+    }
+  }
+  finish_requests(count);
+}
+
+void InferenceServer::finish_requests(std::size_t count) {
+  {
+    std::lock_guard lock(inflight_mutex_);
+    inflight_ -= std::min(count, inflight_);
+  }
+  inflight_cv_.notify_all();
+}
+
+void InferenceServer::drain() {
+  std::unique_lock lock(inflight_mutex_);
+  inflight_cv_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+void InferenceServer::shutdown() {
+  std::lock_guard shutdown_lock(shutdown_mutex_);
+  {
+    std::unique_lock lock(inflight_mutex_);
+    accepting_ = false;
+    inflight_cv_.notify_all();  // wake submitters blocked on backpressure
+    // Wait for every parked submitter to leave its cv wait: returning
+    // earlier would let the destructor destroy the cv/mutex under them.
+    inflight_cv_.wait(lock, [&] { return blocked_submitters_ == 0; });
+  }
+  queue_.close();  // batcher drains, flushes pending, stops workers
+  if (batcher_.joinable()) batcher_.join();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+ServerStats InferenceServer::stats() const {
+  std::size_t inflight = 0;
+  {
+    std::lock_guard lock(inflight_mutex_);
+    inflight = inflight_;
+  }
+  return stats_.snapshot(queue_.size(), inflight);
+}
+
+const nn::WeightBank& InferenceServer::model_weights(ModelId model) const {
+  // The shared_ptr keeps the Model alive for the server's lifetime;
+  // handing out a reference is safe because models are never removed.
+  return find_model(model)->weights;
+}
+
+const std::vector<nn::LayerSpec>& InferenceServer::model_layers(
+    ModelId model) const {
+  return find_model(model)->layers;
+}
+
+}  // namespace wino::serve

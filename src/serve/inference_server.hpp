@@ -1,0 +1,212 @@
+// Traffic-serving front end over nn::forward: a bounded MPMC submission
+// queue, a dynamic batcher that coalesces concurrently submitted
+// single-image requests into batches, and worker threads that dispatch
+// each batch to the batch-parallel forward pass — where the PR 2
+// cross-call transformed-kernel cache amortises Winograd filter
+// transforms across every request that shares a WeightBank.
+//
+// The numerical contract carries over unchanged: every image is computed
+// independently (batch-parallel fan-out, per-image reductions), so a
+// served result is bit-identical to running nn::forward on that image
+// alone, whatever batch its request happened to be coalesced into.
+// tests/serve_test.cpp pins this.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nn/forward.hpp"
+#include "nn/network.hpp"
+#include "runtime/bounded_queue.hpp"
+#include "serve/stats.hpp"
+#include "tensor/tensor.hpp"
+
+namespace wino::serve {
+
+/// Opaque handle returned by InferenceServer::add_model and passed to
+/// submit() to pick the model session.
+using ModelId = std::size_t;
+
+/// What submit() does when the server already holds max_inflight
+/// submitted-but-not-completed requests.
+enum class BackpressurePolicy {
+  kBlock,   ///< wait until capacity frees up (or the server shuts down)
+  kReject,  ///< throw ServerOverloaded immediately
+};
+
+/// Thrown by submit() under the kReject policy when the server is at
+/// capacity, and by blocked submitters woken by shutdown().
+class ServerOverloaded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// \brief Tuning knobs for an InferenceServer.
+struct ServerConfig {
+  /// Largest batch the dynamic batcher assembles; a pending batch is
+  /// dispatched as soon as it reaches this size.
+  std::size_t max_batch = 8;
+
+  /// How long the oldest request in a pending batch may wait for
+  /// companions before the partial batch is dispatched anyway. This is
+  /// the knob trading latency (low values) for batching efficiency.
+  std::uint64_t max_wait_us = 2000;
+
+  /// Bound on submitted-but-not-completed requests (queued + pending in
+  /// the batcher + executing). Admission control applies the backpressure
+  /// policy at this bound; it also caps the submission queue itself.
+  std::size_t max_inflight = 256;
+
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+
+  /// Threads executing batches. Each worker runs nn::forward, which
+  /// itself fans out on the process-global ThreadPool, so 1 is usually
+  /// right; >1 overlaps batch setup/teardown with compute.
+  std::size_t worker_threads = 1;
+
+  /// Observability/test hook: called on the worker thread with
+  /// (model, batch size) immediately before a batch executes. Blocking
+  /// here stalls that worker — tests use this to freeze the pipeline and
+  /// make backpressure deterministic.
+  std::function<void(ModelId, std::size_t)> batch_observer;
+};
+
+/// \brief Multi-model inference server with dynamic request batching.
+///
+/// Usage:
+/// \code
+///   serve::InferenceServer server(cfg);
+///   auto id = server.add_model("vgg", layers, std::move(weights),
+///                              nn::ConvAlgo::kWinograd2);
+///   auto future = server.submit(id, image);   // image is (1, c, h, w)
+///   tensor::Tensor4f out = future.get();
+///   server.shutdown();                        // drains, never drops futures
+/// \endcode
+///
+/// Threading model: submit() may be called from any number of client
+/// threads. One batcher thread pops requests from the bounded submission
+/// queue into a per-model pending window and flushes a model's window
+/// when it reaches max_batch or its oldest request has waited max_wait_us;
+/// worker threads execute flushed batches via nn::forward and fulfil the
+/// per-request promises. Requests are only ever batched with requests for
+/// the same model, so each batch hits one WeightBank's cached transforms.
+class InferenceServer {
+ public:
+  explicit InferenceServer(ServerConfig config = {});
+
+  /// Joins all threads; equivalent to shutdown().
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Register a model session. Thread-safe; may be called while serving.
+  /// \param name    label used in errors and stats output.
+  /// \param layers  layer stack executed per request.
+  /// \param weights weights for the stack; the WeightBank's version keys
+  ///                the process-wide transformed-kernel cache, giving this
+  ///                session its own cached transforms.
+  /// \param algo    convolution algorithm (Winograd variants engage the
+  ///                transform cache).
+  /// \return handle to pass to submit().
+  ModelId add_model(std::string name, std::vector<nn::LayerSpec> layers,
+                    nn::WeightBank weights,
+                    nn::ConvAlgo algo = nn::ConvAlgo::kWinograd2);
+
+  /// Submit one image for inference.
+  /// \param model handle from add_model().
+  /// \param image single-image tensor, shape (1, c, h, w) matching the
+  ///              model's first layer.
+  /// \return future resolving to the model's output activation for this
+  ///         image (or to an exception if the forward pass throws). If a
+  ///         batch fails as a whole, its requests are retried one by one,
+  ///         so a malformed request never fails its batch-mates.
+  /// \throws ServerOverloaded under kReject at capacity, or when a
+  ///         kBlock wait is interrupted by shutdown().
+  /// \throws std::invalid_argument on unknown model or shape mismatch.
+  /// \throws std::runtime_error if the server is already shut down.
+  std::future<tensor::Tensor4f> submit(ModelId model,
+                                       tensor::Tensor4f image);
+
+  /// Block until every admitted request has completed. Does not stop the
+  /// server — new submits are still accepted (and can extend the wait).
+  void drain();
+
+  /// Stop accepting submissions, flush every pending batch, complete all
+  /// admitted requests, and join all threads. No admitted future is ever
+  /// dropped. Idempotent; blocked submitters are woken with
+  /// ServerOverloaded.
+  void shutdown();
+
+  /// Consistent snapshot of the aggregate serving statistics.
+  [[nodiscard]] ServerStats stats() const;
+
+  /// The registered model's weights (e.g. for cross-checking served
+  /// outputs against direct nn::forward in tests).
+  [[nodiscard]] const nn::WeightBank& model_weights(ModelId model) const;
+
+  /// The registered model's layer stack.
+  [[nodiscard]] const std::vector<nn::LayerSpec>& model_layers(
+      ModelId model) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Model {
+    std::string name;
+    std::vector<nn::LayerSpec> layers;
+    nn::WeightBank weights;
+    nn::ConvAlgo algo;
+  };
+
+  struct Request {
+    ModelId model = 0;
+    tensor::Tensor4f image;
+    std::promise<tensor::Tensor4f> promise;
+    Clock::time_point enqueue{};
+  };
+
+  struct Batch {
+    ModelId model = 0;
+    std::vector<Request> requests;
+  };
+
+  [[nodiscard]] std::shared_ptr<const Model> find_model(ModelId model) const;
+  void batcher_loop();
+  void worker_loop();
+  void execute(Batch batch, bool is_retry = false);
+  void finish_requests(std::size_t count);
+
+  ServerConfig config_;
+
+  mutable std::mutex models_mutex_;
+  std::vector<std::shared_ptr<const Model>> models_;
+
+  runtime::BoundedQueue<Request> queue_;
+  runtime::BoundedQueue<Batch> batch_queue_;
+
+  // Admission control + drain bookkeeping.
+  mutable std::mutex inflight_mutex_;
+  std::condition_variable inflight_cv_;
+  std::size_t inflight_ = 0;
+  std::size_t blocked_submitters_ = 0;  ///< parked in submit()'s cv wait
+  bool accepting_ = true;
+
+  StatsRecorder stats_;
+
+  std::mutex shutdown_mutex_;  ///< serialises concurrent shutdown() calls
+  std::thread batcher_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wino::serve

@@ -1,0 +1,94 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wino::serve {
+
+namespace {
+
+/// Nearest-rank percentile, in place (nth_element reorders `samples`, so
+/// callers share one scratch copy across quantiles instead of copying the
+/// sample set per call); q in [0, 1].
+double percentile(std::vector<double>& samples, double q) {
+  if (samples.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(idx),
+                   samples.end());
+  return samples[idx];
+}
+
+}  // namespace
+
+StatsRecorder::StatsRecorder(std::size_t max_batch)
+    : histogram_(max_batch + 1, 0) {}
+
+void StatsRecorder::on_submit() {
+  std::lock_guard lock(mutex_);
+  ++submitted_;
+  if (!any_submit_) {
+    first_submit_ = Clock::now();
+    any_submit_ = true;
+  }
+}
+
+void StatsRecorder::on_reject() {
+  std::lock_guard lock(mutex_);
+  ++rejected_;
+}
+
+void StatsRecorder::on_batch(std::size_t batch_size) {
+  std::lock_guard lock(mutex_);
+  ++batches_;
+  batched_requests_ += batch_size;
+  if (batch_size >= histogram_.size()) histogram_.resize(batch_size + 1, 0);
+  ++histogram_[batch_size];
+}
+
+void StatsRecorder::on_complete(double latency_us) {
+  std::lock_guard lock(mutex_);
+  ++completed_;
+  last_complete_ = Clock::now();
+  any_complete_ = true;
+  if (latencies_us_.size() < kMaxLatencySamples) {
+    latencies_us_.push_back(latency_us);
+  }
+}
+
+ServerStats StatsRecorder::snapshot(std::size_t queue_depth,
+                                    std::size_t inflight) const {
+  std::unique_lock lock(mutex_);
+  ServerStats s;
+  s.submitted = submitted_;
+  s.rejected = rejected_;
+  s.completed = completed_;
+  s.batches = batches_;
+  s.queue_depth = queue_depth;
+  s.inflight = inflight;
+  s.batch_size_histogram = histogram_;
+  s.mean_batch_size =
+      batches_ == 0 ? 0.0
+                    : static_cast<double>(batched_requests_) /
+                          static_cast<double>(batches_);
+  std::vector<double> latencies = latencies_us_;
+  if (any_submit_ && any_complete_) {
+    s.elapsed_s =
+        std::chrono::duration<double>(last_complete_ - first_submit_).count();
+    if (s.elapsed_s > 0.0) {
+      s.throughput_rps = static_cast<double>(completed_) / s.elapsed_s;
+    }
+  }
+  lock.unlock();
+
+  s.p50_latency_us = percentile(latencies, 0.50);
+  s.p99_latency_us = percentile(latencies, 0.99);
+  if (!latencies.empty()) {
+    s.max_latency_us = *std::max_element(latencies.begin(), latencies.end());
+  }
+  return s;
+}
+
+}  // namespace wino::serve

@@ -1,0 +1,90 @@
+// Serving-side observability: per-request latency percentiles, batch-size
+// histogram, throughput and queue depth for the InferenceServer.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace wino::serve {
+
+/// \brief Immutable snapshot of a server's aggregate statistics.
+///
+/// Produced by InferenceServer::stats(); all counters are cumulative since
+/// server construction. Latency percentiles are computed over every
+/// completed request (up to an internal sample cap) at snapshot time.
+struct ServerStats {
+  std::uint64_t submitted = 0;  ///< requests admitted past backpressure
+  std::uint64_t rejected = 0;   ///< requests refused by the kReject policy
+  std::uint64_t completed = 0;  ///< futures fulfilled (values or errors)
+  std::uint64_t batches = 0;    ///< batches dispatched to workers
+
+  /// Requests sitting in the submission queue right now (excludes requests
+  /// already pulled into the batcher's pending window or executing).
+  std::size_t queue_depth = 0;
+  /// Submitted-but-not-completed requests right now (queued + batching +
+  /// executing) — the quantity the backpressure policy bounds.
+  std::size_t inflight = 0;
+
+  /// histogram[s] counts dispatched batches of size s; index 0 is unused.
+  std::vector<std::uint64_t> batch_size_histogram;
+  double mean_batch_size = 0.0;
+
+  // Submit-to-completion wall latency over completed requests.
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double max_latency_us = 0.0;
+
+  /// completed / elapsed, where elapsed spans first submit to last
+  /// completion (0 until the first request completes).
+  double throughput_rps = 0.0;
+  double elapsed_s = 0.0;
+};
+
+/// \brief Thread-safe recorder behind ServerStats.
+///
+/// Writers (submit path, batcher, workers) call the on_* hooks; snapshot()
+/// assembles a consistent ServerStats. Latencies are kept exactly up to
+/// kMaxLatencySamples and further samples are dropped from the percentile
+/// set (counters keep counting) — serving benches stay well below the
+/// cap, and the cap bounds how long snapshot() holds the mutex copying
+/// the sample set out (the copy stalls the serving hot path's hooks).
+class StatsRecorder {
+ public:
+  /// \param max_batch sizes the batch histogram (indices 0..max_batch).
+  explicit StatsRecorder(std::size_t max_batch);
+
+  void on_submit();
+  void on_reject();
+  /// \param batch_size number of requests in a dispatched batch.
+  void on_batch(std::size_t batch_size);
+  /// \param latency_us submit-to-completion latency of one request.
+  void on_complete(double latency_us);
+
+  /// \param queue_depth current submission-queue occupancy.
+  /// \param inflight current submitted-but-not-completed count.
+  [[nodiscard]] ServerStats snapshot(std::size_t queue_depth,
+                                     std::size_t inflight) const;
+
+ private:
+  static constexpr std::size_t kMaxLatencySamples = 1u << 16;
+
+  using Clock = std::chrono::steady_clock;
+
+  mutable std::mutex mutex_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_requests_ = 0;
+  std::vector<std::uint64_t> histogram_;
+  std::vector<double> latencies_us_;
+  Clock::time_point first_submit_{};
+  Clock::time_point last_complete_{};
+  bool any_submit_ = false;
+  bool any_complete_ = false;
+};
+
+}  // namespace wino::serve
