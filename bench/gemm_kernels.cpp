@@ -89,11 +89,16 @@ struct ThreadResult {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (!wino::common::validate_bench_args(
+          argc, argv, {"--quick"},
+          "gemm_kernels [--quick] [--out <path>]")) {
+    return 2;
+  }
   const bool quick = wino::common::has_flag(argc, argv, "--quick");
 
   // Representative VGG-16 im2col GEMM shapes (M = output channels,
   // K = C * 3 * 3, N = output pixels) plus the square reference point the
-  // CI regression gate tracks (bench/check_gemm_regression.py). --quick
+  // CI regression gate tracks (bench/check_bench_regression.py). --quick
   // scales the VGG pixel counts down 4x but keeps square-512 intact so the
   // gated number is comparable between quick and full runs.
   std::vector<Shape> shapes = {

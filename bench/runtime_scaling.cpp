@@ -40,6 +40,10 @@ std::pair<double, Tensor4f> timed(Fn&& fn) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (!wino::common::validate_bench_args(
+          argc, argv, {}, "runtime_scaling [--out <path>]")) {
+    return 2;
+  }
   const std::vector<std::size_t> thread_counts = {1, 2, 4};
   struct Point {
     std::size_t threads;

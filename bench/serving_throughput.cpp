@@ -56,6 +56,11 @@ struct ModeResult {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (!wino::common::validate_bench_args(
+          argc, argv, {"--quick"},
+          "serving_throughput [--quick] [--out <path>]")) {
+    return 2;
+  }
   const bool quick = wino::common::has_flag(argc, argv, "--quick");
   const std::size_t kImages = quick ? 128 : 320;
   const int kReps = 9;  // aggregated, interleaved across modes

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <initializer_list>
 #include <string>
 
 namespace wino::common {
@@ -21,11 +22,50 @@ inline bool has_flag(int argc, char** argv, const std::string& flag) {
   return false;
 }
 
+/// Validate a bench binary's command line: every argument must be one of
+/// `flags` or `--out <path>`. On the first malformed argument the
+/// offender and `usage` go to stderr and false comes back so the caller
+/// exits non-zero — a mistyped flag in a CI smoke invocation (e.g.
+/// `--qiuck`) must fail the job loudly, not silently run the full sweep
+/// and pass.
+inline bool validate_bench_args(int argc, char** argv,
+                                std::initializer_list<const char*> flags,
+                                const char* usage) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      if (i + 1 >= argc || argv[i + 1][0] == '-') {
+        std::fprintf(stderr, "error: --out requires a path\nusage: %s\n",
+                     usage);
+        return false;
+      }
+      ++i;
+      continue;
+    }
+    bool known = false;
+    for (const char* f : flags) {
+      if (arg == f) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr, "error: unknown argument '%s'\nusage: %s\n",
+                   arg.c_str(), usage);
+      return false;
+    }
+  }
+  return true;
+}
+
 /// Resolve the output path for a bench artifact named `default_name`:
 /// 1. an explicit `--out <path>` argument wins verbatim;
 /// 2. otherwise the file lands in the running binary's directory
 ///    (via /proc/self/exe, falling back to argv[0]);
 /// 3. otherwise (binary path unresolvable) the bare name, i.e. the cwd.
+/// The bare-`--out` warning below is a defensive fallback only: every
+/// bench main runs validate_bench_args() first, which rejects a
+/// malformed `--out` with exit 2 before this function is reached.
 inline std::string bench_output_path(int argc, char** argv,
                                      const std::string& default_name) {
   for (int i = 1; i < argc; ++i) {

@@ -37,20 +37,12 @@ void im2col(const Tensor4f& input, std::size_t image, std::size_t r,
     throw std::invalid_argument("im2col: output span size mismatch");
   }
   // One patch row per (c, u, v); rows write disjoint slices of the output.
+  // The lowering itself lives in tensor::im2col_lower_row, shared with
+  // tensor::pack so the panel layout has exactly one definition.
   runtime::parallel_for_each(patch_rows, [&](std::size_t row) {
-    const std::size_t c = row / (r * r);
-    const std::size_t u = (row / r) % r;
-    const std::size_t v = row % r;
-    std::size_t col = 0;
-    for (std::size_t oy = 0; oy < out_h; ++oy) {
-      const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy) * stride +
-                                static_cast<std::ptrdiff_t>(u) - pad_h;
-      for (std::size_t ox = 0; ox < out_w; ++ox, ++col) {
-        const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox) * stride +
-                                  static_cast<std::ptrdiff_t>(v) - pad_w;
-        out_patches[row * patch_cols + col] = input.padded(image, c, iy, ix);
-      }
-    }
+    tensor::im2col_lower_row(
+        input, image, r, pad_h, pad_w, stride, row, out_h, out_w,
+        out_patches.subspan(row * patch_cols, patch_cols));
   });
 }
 
@@ -102,6 +94,57 @@ Tensor4f conv2d_im2col(const Tensor4f& input, const Tensor4f& kernels,
     runtime::parallel_for(is.n, run_images);
   } else {
     run_images(0, is.n);
+  }
+  return out;
+}
+
+Tensor4f conv2d_im2col(const tensor::PackedActivation& panels,
+                       const Tensor4f& kernels,
+                       const SpatialConvOptions& opt) {
+  const tensor::Layout& il = panels.layout;
+  const auto& ks = kernels.shape();
+  if (il.kind != tensor::LayoutKind::kIm2colPanel) {
+    throw std::invalid_argument("conv2d_im2col: input is not a panel");
+  }
+  if (panels.data.size() != il.volume()) {
+    throw std::invalid_argument(
+        "conv2d_im2col: panel buffer size != layout volume");
+  }
+  if (ks.h != ks.w || il.patch_r != ks.h || il.shape.c != ks.c) {
+    throw std::invalid_argument(
+        "conv2d_im2col: panel was packed for a different kernel bank");
+  }
+  if (il.pad_h != opt.eff_pad_h() || il.pad_w != opt.eff_pad_w() ||
+      il.stride != opt.stride) {
+    throw std::invalid_argument(
+        "conv2d_im2col: panel was packed for different conv options");
+  }
+  const std::size_t r = ks.h;
+  const std::size_t out_h = il.panel_out_h();
+  const std::size_t out_w = il.panel_out_w();
+  const std::size_t inner = il.shape.c * r * r;
+  const std::size_t cols = out_h * out_w;
+  const std::size_t panel = inner * cols;
+
+  std::span<const float> a = kernels.flat();
+  Tensor4f out(il.shape.n, ks.n, out_h, out_w);
+  auto run_images = [&](std::size_t begin, std::size_t end) {
+    std::vector<float> result(ks.n * cols);
+    for (std::size_t img = begin; img < end; ++img) {
+      const std::span<const float> patches{panels.data.data() + img * panel,
+                                           panel};
+      gemm(a, patches, result, ks.n, inner, cols);
+      for (std::size_t k = 0; k < ks.n; ++k) {
+        for (std::size_t i = 0; i < cols; ++i) {
+          out(img, k, i / out_w, i % out_w) = result[k * cols + i];
+        }
+      }
+    }
+  };
+  if (il.shape.n >= runtime::ThreadPool::global().threads()) {
+    runtime::parallel_for(il.shape.n, run_images);
+  } else {
+    run_images(0, il.shape.n);
   }
   return out;
 }

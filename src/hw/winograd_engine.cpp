@@ -107,6 +107,12 @@ SimStats WinogradEngine::run_workload_timing(const nn::ConvWorkload& net,
   return total;
 }
 
+SimResult WinogradEngine::run_layer(const tensor::PackedActivation& input,
+                                    const Tensor4f& kernels, int pad,
+                                    SimMode mode) const {
+  return run_layer(tensor::unpack(input), kernels, pad, mode);
+}
+
 SimResult WinogradEngine::run_layer(const Tensor4f& input,
                                     const Tensor4f& kernels, int pad,
                                     SimMode mode) const {

@@ -15,6 +15,7 @@
 
 #include "hw/engine_config.hpp"
 #include "nn/network.hpp"
+#include "tensor/layout.hpp"
 #include "tensor/tensor.hpp"
 
 namespace wino::hw {
@@ -61,6 +62,17 @@ class WinogradEngine {
   /// per-tile arithmetic keeps hardware order, so the output is
   /// bit-identical for any thread count.
   SimResult run_layer(const tensor::Tensor4f& input,
+                      const tensor::Tensor4f& kernels, int pad,
+                      SimMode mode = SimMode::kFunctional) const;
+
+  /// Layout-aware entry for activations coming out of the software
+  /// pipeline in a packed form (see tensor/layout.hpp): the activation is
+  /// converted to the NCHW stream the simulated DMA ingests — the modelled
+  /// hardware reads NCHW feature maps from DRAM, so the unpack here *is*
+  /// the host-side re-layout a real deployment would perform before
+  /// enqueueing the DMA descriptor. Numerically identical to calling the
+  /// NCHW overload on the unpacked tensor.
+  SimResult run_layer(const tensor::PackedActivation& input,
                       const tensor::Tensor4f& kernels, int pad,
                       SimMode mode = SimMode::kFunctional) const;
 

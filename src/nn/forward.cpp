@@ -252,10 +252,22 @@ WeightBank random_weights(const std::vector<LayerSpec>& layers,
 
 namespace {
 
-/// Sequential layer-stack evaluation (any batch size).
-Tensor4f forward_sequential(const std::vector<LayerSpec>& layers,
-                            const WeightBank& weights, const Tensor4f& input,
-                            ConvAlgo algo) {
+/// Move a packed activation into plain NCHW: a buffer move when it is
+/// already NCHW, a conversion kernel otherwise.
+Tensor4f take_nchw(tensor::PackedActivation&& act) {
+  if (act.layout.kind == tensor::LayoutKind::kNCHW) {
+    return Tensor4f(act.layout.shape, std::move(act.data));
+  }
+  return tensor::unpack(act);
+}
+
+/// Legacy data flow (LayoutPolicy::kAlwaysNCHW): every layer boundary
+/// materialises the NCHW tensor and ReLU runs as a separate pass. Kept
+/// verbatim as the reference the layout-planned path is pinned
+/// bit-identical against.
+Tensor4f forward_sequential_nchw(const std::vector<LayerSpec>& layers,
+                                 const WeightBank& weights,
+                                 const Tensor4f& input, ConvAlgo algo) {
   Tensor4f act = input;
   std::size_t conv_idx = 0;
   std::size_t fc_idx = 0;
@@ -297,6 +309,111 @@ Tensor4f forward_sequential(const std::vector<LayerSpec>& layers,
     }
   }
   return act;
+}
+
+/// Layout-planned data flow (LayoutPolicy::kAuto): activations travel in
+/// the layout the planning pass picked per boundary. Winograd conv chains
+/// hand off in m x m tile form with ReLU fused into the output scatter;
+/// im2col layers consume an explicitly packed patch panel; every other
+/// consumer (maxpool, FC, spatial/FFT conv) receives NCHW. Bit-identical
+/// to forward_sequential_nchw: conversions are value-preserving
+/// permutations and all arithmetic runs in the same order on the same
+/// values (pinned by tests/nn_forward_test.cpp).
+Tensor4f forward_sequential(const std::vector<LayerSpec>& layers,
+                            const WeightBank& weights, const Tensor4f& input,
+                            ConvAlgo algo, LayoutPolicy policy) {
+  if (policy == LayoutPolicy::kAlwaysNCHW) {
+    return forward_sequential_nchw(layers, weights, input, algo);
+  }
+  const int m = winograd_m(algo);
+  const LayoutPlan plan = plan_layouts(layers, algo);
+  tensor::PackedActivation act =
+      tensor::PackedActivation::from_nchw(Tensor4f(input));
+  std::size_t conv_idx = 0;
+  std::size_t fc_idx = 0;
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    const auto& l = layers[li];
+    switch (l.kind) {
+      case LayerKind::kConv: {
+        if (conv_idx >= weights.conv_kernels.size()) {
+          throw std::invalid_argument("forward: missing conv weights");
+        }
+        const Tensor4f& kern = weights.conv_kernels[conv_idx];
+        if (m > 0) {
+          const auto entry = transform_cache().get(
+              {weights.version, conv_idx, m, kern.shape().h}, kern);
+          winograd::WinogradConvOptions wopt;
+          wopt.pad = l.conv.pad;
+          act = winograd::conv2d_winograd_layout(
+              act, entry->tk, entry->xf, wopt, plan.output_kind[li],
+              /*fuse_relu=*/true);
+        } else if (algo == ConvAlgo::kIm2col) {
+          // The panel is the backend's preferred input form. Pack and
+          // consume it one image at a time — a single panel buffer alive
+          // per walk, like the pre-layout path's reused scratch — rather
+          // than materialising the whole sub-batch's panels at once
+          // (O(batch) peak memory for zero elision payoff: nothing
+          // upstream produces panels, so the pack is per-boundary work
+          // either way).
+          const Tensor4f in = take_nchw(std::move(act));
+          const auto& shp = in.shape();
+          const conv::SpatialConvOptions sopt{.pad = l.conv.pad,
+                                              .stride = 1};
+          const std::size_t r = kern.shape().h;
+          tensor::PackedActivation panel{
+              tensor::Layout::im2col_panel({1, shp.c, shp.h, shp.w}, r,
+                                           sopt.eff_pad_h(),
+                                           sopt.eff_pad_w(), sopt.stride),
+              {}};
+          panel.data.resize(panel.layout.volume());
+          Tensor4f out;
+          for (std::size_t img = 0; img < shp.n; ++img) {
+            // conv::im2col and tensor::pack share one lowering kernel
+            // (tensor::im2col_lower_row), so this per-image fill is the
+            // panel pack, minus the per-image input slicing.
+            conv::im2col(in, img, r, sopt.eff_pad_h(), sopt.eff_pad_w(),
+                         sopt.stride, panel.data);
+            const Tensor4f one = conv::conv2d_im2col(panel, kern, sopt);
+            if (img == 0) {
+              out = Tensor4f(shp.n, one.shape().c, one.shape().h,
+                             one.shape().w);
+            }
+            const auto src = one.flat();
+            std::copy(src.begin(), src.end(),
+                      out.flat().begin() +
+                          static_cast<std::ptrdiff_t>(img * src.size()));
+          }
+          relu_inplace(out);
+          act = tensor::PackedActivation::from_nchw(std::move(out));
+        } else {
+          const Tensor4f in = take_nchw(std::move(act));
+          Tensor4f out = run_conv(algo, in, kern, l.conv.pad);
+          relu_inplace(out);
+          act = tensor::PackedActivation::from_nchw(std::move(out));
+        }
+        ++conv_idx;
+        break;
+      }
+      case LayerKind::kMaxPool: {
+        const Tensor4f in = take_nchw(std::move(act));
+        act = tensor::PackedActivation::from_nchw(maxpool2x2(in));
+        break;
+      }
+      case LayerKind::kFullyConnected: {
+        if (fc_idx >= weights.fc_weights.size()) {
+          throw std::invalid_argument("forward: missing fc weights");
+        }
+        const Tensor4f in = take_nchw(std::move(act));
+        Tensor4f out = fully_connected(in, weights.fc_weights[fc_idx],
+                                       weights.fc_bias[fc_idx], l.fc_out);
+        ++fc_idx;
+        if (fc_idx < weights.fc_weights.size()) relu_inplace(out);
+        act = tensor::PackedActivation::from_nchw(std::move(out));
+        break;
+      }
+    }
+  }
+  return take_nchw(std::move(act));
 }
 
 /// Populate the transform cache for every conv layer before the batch
@@ -342,9 +459,43 @@ std::size_t cached_subbatch(const std::vector<LayerSpec>& layers, int m) {
 
 }  // namespace
 
+std::string to_string(LayoutPolicy policy) {
+  switch (policy) {
+    case LayoutPolicy::kAuto:
+      return "auto-layout";
+    case LayoutPolicy::kAlwaysNCHW:
+      return "always-nchw";
+  }
+  return "unknown";
+}
+
+LayoutPlan plan_layouts(const std::vector<LayerSpec>& layers,
+                        ConvAlgo algo) {
+  LayoutPlan plan;
+  plan.output_kind.assign(layers.size(), tensor::LayoutKind::kNCHW);
+  plan.boundaries = layers.empty() ? 0 : layers.size() - 1;
+  const int m = winograd_m(algo);
+  if (m == 0) return plan;  // only the Winograd backends have a tiled form
+  for (std::size_t i = 0; i + 1 < layers.size(); ++i) {
+    // Elision rule: a Winograd conv feeding another conv layer of the same
+    // algo (same m by construction — the algo is per-call) keeps its
+    // output in tile form; the consumer's gather reads tiles directly.
+    // Maxpool / FC / the final output force NCHW, so those boundaries
+    // stay at the lattice top.
+    if (layers[i].kind != LayerKind::kConv) continue;
+    if (layers[i + 1].kind != LayerKind::kConv) continue;
+    plan.output_kind[i] = tensor::LayoutKind::kWinogradTile;
+    ++plan.elided;
+    const auto& c = layers[i].conv;
+    plan.nchw_floats_elided +=
+        static_cast<std::uint64_t>(c.k) * c.out_h() * c.out_w();
+  }
+  return plan;
+}
+
 Tensor4f forward(const std::vector<LayerSpec>& layers,
                  const WeightBank& weights, const Tensor4f& input,
-                 ConvAlgo algo) {
+                 ConvAlgo algo, LayoutPolicy policy) {
   prewarm_transforms(layers, weights, algo);
   const auto& is = input.shape();
   // Batch-parallel: every layer treats images independently, so running a
@@ -355,7 +506,9 @@ Tensor4f forward(const std::vector<LayerSpec>& layers,
   // Winograd algos read their filter transforms from the cross-call cache
   // instead, so their chunks walk the batch in cache-budgeted sub-batches
   // (see cached_subbatch) — bit-identical either way.
-  if (is.n <= 1) return forward_sequential(layers, weights, input, algo);
+  if (is.n <= 1) {
+    return forward_sequential(layers, weights, input, algo, policy);
+  }
   const int wino_m = winograd_m(algo);
   const std::size_t cap =
       wino_m > 0 ? cached_subbatch(layers, wino_m) : is.n;
@@ -369,7 +522,7 @@ Tensor4f forward(const std::vector<LayerSpec>& layers,
       Tensor4f sub(count, is.c, is.h, is.w);
       const auto src = input.flat().subspan(i * image_volume, sub.size());
       std::copy(src.begin(), src.end(), sub.flat().begin());
-      per_chunk[i] = forward_sequential(layers, weights, sub, algo);
+      per_chunk[i] = forward_sequential(layers, weights, sub, algo, policy);
       chunk_first[i] = 1;
     }
   });

@@ -232,8 +232,12 @@ void InferenceServer::execute(Batch batch, bool is_retry) {
 
     const auto now = Clock::now();
     for (std::size_t i = 0; i < count; ++i) {
-      batch.requests[i].promise.set_value(std::move(outputs[i]));
+      // Stats before set_value: the moment the future resolves, a client
+      // may read stats() and must find its own request counted (pinned by
+      // serve_test under the TSan CI job, whose scheduling jitter caught
+      // the reversed order).
       stats_.on_complete(microseconds_between(batch.requests[i].enqueue, now));
+      batch.requests[i].promise.set_value(std::move(outputs[i]));
     }
   } catch (...) {
     if (count > 1) {
@@ -251,8 +255,8 @@ void InferenceServer::execute(Batch batch, bool is_retry) {
     const auto error = std::current_exception();
     const auto now = Clock::now();
     for (Request& r : batch.requests) {
-      r.promise.set_exception(error);
       stats_.on_complete(microseconds_between(r.enqueue, now));
+      r.promise.set_exception(error);
     }
   }
   finish_requests(count);

@@ -35,6 +35,16 @@ class Tensor4 {
           T init = T{})
       : Tensor4(Shape4{n, c, h, w}, init) {}
 
+  /// Adopt an existing flat NCHW buffer without copying (the layout
+  /// pipeline moves activations between NCHW and packed forms; a
+  /// full-feature-map copy per layer boundary would defeat the point).
+  Tensor4(Shape4 shape, std::vector<T>&& data)
+      : shape_(shape), data_(std::move(data)) {
+    if (data_.size() != shape_.volume()) {
+      throw std::invalid_argument("Tensor4: buffer size != shape volume");
+    }
+  }
+
   [[nodiscard]] const Shape4& shape() const { return shape_; }
   [[nodiscard]] std::size_t size() const { return data_.size(); }
   [[nodiscard]] bool empty() const { return data_.empty(); }
@@ -71,6 +81,13 @@ class Tensor4 {
 
   [[nodiscard]] std::span<T> flat() { return data_; }
   [[nodiscard]] std::span<const T> flat() const { return data_; }
+
+  /// Move the flat buffer out (the inverse of the adopting constructor);
+  /// the tensor is left empty with a zero shape.
+  [[nodiscard]] std::vector<T> release() && {
+    shape_ = Shape4{};
+    return std::move(data_);
+  }
 
   friend bool operator==(const Tensor4& a, const Tensor4& b) {
     return a.shape_ == b.shape_ && a.data_ == b.data_;

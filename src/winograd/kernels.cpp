@@ -1,5 +1,6 @@
 #include "winograd/kernels.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace wino::winograd {
@@ -219,6 +220,244 @@ Tensor4f conv2d_winograd(const Tensor4f& input, const TransformedKernels& tk,
               if (ox >= out_w) break;
               out(img, k, oy, ox) = acc_y[i * mm + j];
             }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+tensor::PackedActivation conv2d_winograd_layout(
+    const tensor::PackedActivation& input, const TransformedKernels& tk,
+    const TileTransformer& xf, const WinogradConvOptions& opt,
+    tensor::LayoutKind out_kind, bool fuse_relu) {
+  using tensor::Layout;
+  using tensor::LayoutKind;
+  const Layout& il = input.layout;
+  if (il.kind != LayoutKind::kNCHW &&
+      il.kind != LayoutKind::kWinogradTile) {
+    throw std::invalid_argument(
+        "conv2d_winograd_layout: input must be NCHW or Winograd-tile form");
+  }
+  if (out_kind != LayoutKind::kNCHW &&
+      out_kind != LayoutKind::kWinogradTile) {
+    throw std::invalid_argument(
+        "conv2d_winograd_layout: output must be NCHW or Winograd-tile form");
+  }
+  if (input.data.size() != il.volume()) {
+    throw std::invalid_argument(
+        "conv2d_winograd_layout: buffer size != layout volume");
+  }
+  const auto& is = il.shape;
+  const std::size_t kernel_count = tk.kernel_count();
+  const auto r = static_cast<std::size_t>(xf.r());
+  const auto tile = static_cast<std::size_t>(xf.tile());
+  if (tk.tile_area() != tile * tile) {
+    throw std::invalid_argument(
+        "conv2d_winograd_layout: kernel bank transformed for another tile");
+  }
+  if (tk.channels() != is.c) {
+    throw std::invalid_argument("conv2d_winograd_layout: channel mismatch");
+  }
+  const int pad = opt.pad;
+  const std::ptrdiff_t oh = static_cast<std::ptrdiff_t>(is.h) + 2 * pad -
+                            static_cast<std::ptrdiff_t>(r) + 1;
+  const std::ptrdiff_t ow = static_cast<std::ptrdiff_t>(is.w) + 2 * pad -
+                            static_cast<std::ptrdiff_t>(r) + 1;
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument(
+        "conv2d_winograd_layout: output would be empty");
+  }
+  const auto out_h = static_cast<std::size_t>(oh);
+  const auto out_w = static_cast<std::size_t>(ow);
+
+  const auto mm = static_cast<std::size_t>(xf.m());
+  const std::size_t n = tile;
+  const std::size_t nsq = n * n;
+  const std::size_t tiles_h = (out_h + mm - 1) / mm;
+  const std::size_t tiles_w = (out_w + mm - 1) / mm;
+
+  const tensor::Shape4 out_shape{is.n, kernel_count, out_h, out_w};
+  const Layout ol = out_kind == LayoutKind::kNCHW
+                        ? Layout::nchw(out_shape)
+                        : Layout::winograd_tile(out_shape, mm);
+  tensor::PackedActivation out{ol, std::vector<float>(ol.volume())};
+
+  // Input-side geometry for the tile-form gather.
+  const std::size_t in_tm = il.kind == LayoutKind::kWinogradTile
+                                ? il.tile_m
+                                : 1;  // unused for NCHW
+  const std::size_t in_th_n =
+      il.kind == LayoutKind::kWinogradTile ? il.tiles_h() : 0;
+  const std::size_t in_tw_n =
+      il.kind == LayoutKind::kWinogradTile ? il.tiles_w() : 0;
+  const std::size_t in_tmsq = in_tm * in_tm;
+
+  std::vector<float> d(nsq);
+  std::vector<float> u_all(is.c * nsq);
+  std::vector<float> prod(nsq);
+  std::vector<float> acc_m(nsq);
+  std::vector<float> y(mm * mm);
+  std::vector<float> acc_y(mm * mm);
+
+  const float* src = input.data.data();
+  float* dst = out.data.data();
+  const bool in_tiled = il.kind == LayoutKind::kWinogradTile;
+
+  // Precomputed gather maps for the tile-form input: the window row i /
+  // column j of the current tile position resolves to a (source tile,
+  // offset within tile) pair. Rebuilt once per tile row / tile column, so
+  // the per-element gather is a single indexed load — no division, no
+  // validity branch (validity is a contiguous [lo, hi) span instead).
+  std::vector<std::size_t> row_tile(n);  // source tile row
+  std::vector<std::size_t> row_in(n);    // row-within-tile * in_tm
+  std::vector<std::size_t> col_off(n);   // tile-col * tm^2 + col-within
+
+  for (std::size_t img = 0; img < is.n; ++img) {
+    for (std::size_t th = 0; th < tiles_h; ++th) {
+      const std::ptrdiff_t y0 = static_cast<std::ptrdiff_t>(th * mm) - pad;
+      // Valid window rows [i_lo, i_hi): inside the feature map.
+      const std::size_t i_lo =
+          y0 < 0 ? static_cast<std::size_t>(-y0) : 0;
+      const std::size_t i_hi = std::min(
+          n, static_cast<std::size_t>(std::max<std::ptrdiff_t>(
+                 0, static_cast<std::ptrdiff_t>(is.h) - y0)));
+      if (in_tiled) {
+        for (std::size_t i = i_lo; i < i_hi; ++i) {
+          const auto gy = static_cast<std::size_t>(
+              y0 + static_cast<std::ptrdiff_t>(i));
+          row_tile[i] = gy / in_tm;
+          row_in[i] = (gy % in_tm) * in_tm;
+        }
+      }
+      for (std::size_t tw = 0; tw < tiles_w; ++tw) {
+        const std::ptrdiff_t x0 = static_cast<std::ptrdiff_t>(tw * mm) - pad;
+        const std::size_t j_lo =
+            x0 < 0 ? static_cast<std::size_t>(-x0) : 0;
+        const std::size_t j_hi = std::min(
+            n, static_cast<std::size_t>(std::max<std::ptrdiff_t>(
+                   0, static_cast<std::ptrdiff_t>(is.w) - x0)));
+        if (in_tiled) {
+          for (std::size_t j = j_lo; j < j_hi; ++j) {
+            const auto gx = static_cast<std::size_t>(
+                x0 + static_cast<std::ptrdiff_t>(j));
+            col_off[j] = (gx / in_tm) * in_tmsq + gx % in_tm;
+          }
+        }
+        const bool padded_window =
+            i_lo > 0 || i_hi < n || j_lo > 0 || j_hi < n;
+
+        for (std::size_t c = 0; c < is.c; ++c) {
+          if (padded_window) std::fill(d.begin(), d.end(), 0.0F);
+          if (!in_tiled) {
+            const float* plane = src + (img * is.c + c) * is.h * is.w;
+            for (std::size_t i = i_lo; i < i_hi; ++i) {
+              const float* rowp =
+                  plane +
+                  static_cast<std::size_t>(
+                      y0 + static_cast<std::ptrdiff_t>(i)) *
+                      is.w +
+                  static_cast<std::size_t>(
+                      x0 + static_cast<std::ptrdiff_t>(j_lo));
+              float* drow = d.data() + i * n;
+              // Plain loop, not std::copy: the span is a handful of
+              // floats, and a memmove call per tile row costs more than
+              // the loads it performs.
+              for (std::size_t j = j_lo; j < j_hi; ++j) {
+                drow[j] = rowp[j - j_lo];
+              }
+            }
+          } else {
+            const std::size_t chan_base = (img * is.c + c) * in_th_n;
+            for (std::size_t i = i_lo; i < i_hi; ++i) {
+              const float* row_ptr =
+                  src + (chan_base + row_tile[i]) * in_tw_n * in_tmsq +
+                  row_in[i];
+              float* drow = d.data() + i * n;
+              for (std::size_t j = j_lo; j < j_hi; ++j) {
+                drow[j] = row_ptr[col_off[j]];
+              }
+            }
+          }
+          xf.transform_data(d, {u_all.data() + c * nsq, nsq});
+        }
+
+        // Valid output extent of this tile (ragged at the right/bottom).
+        const std::size_t ie = std::min(mm, out_h - th * mm);
+        const std::size_t je = std::min(mm, out_w - tw * mm);
+
+        // Scatter acc_y into the requested output layout.
+        const auto scatter = [&](std::size_t k) {
+          if (out_kind == LayoutKind::kNCHW) {
+            float* out_plane =
+                dst + (img * kernel_count + k) * out_h * out_w;
+            for (std::size_t i = 0; i < ie; ++i) {
+              float* orow = out_plane + (th * mm + i) * out_w + tw * mm;
+              const float* ay = acc_y.data() + i * mm;
+              if (fuse_relu) {
+                for (std::size_t j = 0; j < je; ++j) {
+                  orow[j] = ay[j] > 0.0F ? ay[j] : 0.0F;
+                }
+              } else {
+                for (std::size_t j = 0; j < je; ++j) orow[j] = ay[j];
+              }
+            }
+          } else {
+            // Tile-form scatter: one contiguous m*m block per (k, tile);
+            // positions past the feature map edge hold zero, preserving
+            // the layout's ragged-tile invariant (ReLU keeps 0 at 0).
+            float* block =
+                dst + tensor::winograd_tile_offset(ol, img, k, th, tw);
+            if (ie == mm && je == mm) {
+              if (fuse_relu) {
+                for (std::size_t i = 0; i < mm * mm; ++i) {
+                  block[i] = acc_y[i] > 0.0F ? acc_y[i] : 0.0F;
+                }
+              } else {
+                for (std::size_t i = 0; i < mm * mm; ++i) {
+                  block[i] = acc_y[i];
+                }
+              }
+            } else {
+              std::fill(block, block + mm * mm, 0.0F);
+              for (std::size_t i = 0; i < ie; ++i) {
+                for (std::size_t j = 0; j < je; ++j) {
+                  const float v = acc_y[i * mm + j];
+                  block[i * mm + j] =
+                      fuse_relu ? (v > 0.0F ? v : 0.0F) : v;
+                }
+              }
+            }
+          }
+        };
+
+        // The accumulation-order branch is hoisted out of the channel
+        // loop (the baseline tests it per channel): same arithmetic in
+        // the same order, but the transform-domain inner loop — the hot
+        // path nn::forward uses — stays branch-free.
+        if (opt.accumulation == AccumulationOrder::kTransformDomain) {
+          for (std::size_t k = 0; k < kernel_count; ++k) {
+            std::fill(acc_m.begin(), acc_m.end(), 0.0F);
+            for (std::size_t c = 0; c < is.c; ++c) {
+              const float* u = u_all.data() + c * nsq;
+              const auto v = tk.v(k, c);
+              for (std::size_t i = 0; i < nsq; ++i) acc_m[i] += u[i] * v[i];
+            }
+            xf.inverse(acc_m, acc_y);
+            scatter(k);
+          }
+        } else {
+          for (std::size_t k = 0; k < kernel_count; ++k) {
+            std::fill(acc_y.begin(), acc_y.end(), 0.0F);
+            for (std::size_t c = 0; c < is.c; ++c) {
+              const float* u = u_all.data() + c * nsq;
+              const auto v = tk.v(k, c);
+              for (std::size_t i = 0; i < nsq; ++i) prod[i] = u[i] * v[i];
+              xf.inverse(prod, y);
+              for (std::size_t i = 0; i < y.size(); ++i) acc_y[i] += y[i];
+            }
+            scatter(k);
           }
         }
       }

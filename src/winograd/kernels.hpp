@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "tensor/layout.hpp"
 #include "tensor/tensor.hpp"
 #include "winograd/cook_toom.hpp"
 
@@ -125,5 +126,25 @@ tensor::Tensor4f conv2d_winograd(const tensor::Tensor4f& input,
                                  const TransformedKernels& tk,
                                  const TileTransformer& xf,
                                  const WinogradConvOptions& opt = {});
+
+/// Layout-aware layer convolution for the nn pipeline: the input may be
+/// NCHW or Winograd-tile form (any producer tile edge), and the output is
+/// produced directly in `out_kind` (kNCHW, or kWinogradTile with tile edge
+/// m) — chains of Winograd layers hand activations tile-to-tile without
+/// ever materialising the NCHW intermediate. `fuse_relu` folds the
+/// elementwise max(x, 0) into the output scatter, replacing the separate
+/// full-tensor ReLU pass.
+///
+/// Every output element is computed by exactly the arithmetic of
+/// conv2d_winograd(input, tk, xf, opt) — the gather reads the same values,
+/// the transform/accumulation order is untouched, and ReLU is the same
+/// formula applied to the same result — so this path is bit-identical to
+/// the always-NCHW path at every element, whatever mix of layouts carries
+/// the activations (pinned by tests/nn_forward_test.cpp and
+/// tests/tensor_layout_test.cpp).
+tensor::PackedActivation conv2d_winograd_layout(
+    const tensor::PackedActivation& input, const TransformedKernels& tk,
+    const TileTransformer& xf, const WinogradConvOptions& opt,
+    tensor::LayoutKind out_kind, bool fuse_relu);
 
 }  // namespace wino::winograd
