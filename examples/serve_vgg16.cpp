@@ -10,20 +10,39 @@
 #include <cstdio>
 #include <cstring>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/random.hpp"
 #include "common/table.hpp"
 #include "nn/forward.hpp"
+#include "nn/plan.hpp"
 #include "serve/inference_server.hpp"
 #include "tensor/tensor.hpp"
 
 using wino::tensor::Tensor4f;
 
-int main() {
+// Usage: ./examples/serve_vgg16 [algo]
+//   algo  convolution algorithm for the served session, parsed by
+//         nn::parse_conv_algo (e.g. "w4", "im2col"); the special name
+//         "planned" registers the session through the cost-model planner
+//         (per-layer mixed algorithms). Default: winograd2.
+int main(int argc, char** argv) {
   const auto layers = wino::nn::vgg16_d_scaled(7, 8);  // 32x32 input
   auto weights = wino::nn::random_weights(layers, 42);
+
+  const std::string algo_name = argc > 1 ? argv[1] : "w2";
+  wino::nn::ExecutionPlan plan;
+  try {
+    plan = algo_name == "planned"
+               ? wino::nn::plan_execution(layers)
+               : wino::nn::uniform_plan(
+                     layers, wino::nn::parse_conv_algo(algo_name));
+  } catch (const std::invalid_argument& err) {
+    std::fprintf(stderr, "%s\n", err.what());
+    return 1;
+  }
 
   wino::serve::ServerConfig cfg;
   cfg.max_batch = 8;
@@ -32,8 +51,10 @@ int main() {
   cfg.backpressure = wino::serve::BackpressurePolicy::kBlock;
 
   wino::serve::InferenceServer server(cfg);
-  const auto vgg = server.add_model("vgg16-d/7", layers, weights,
-                                    wino::nn::ConvAlgo::kWinograd2);
+  const auto vgg = server.add_model("vgg16-d/7", plan, weights);
+  std::printf("session plan (%s):\n%s\n",
+              plan.uniform() ? "uniform" : "mixed",
+              server.model_plan(vgg).to_string().c_str());
 
   // Four clients, 16 requests each, submitted concurrently.
   constexpr std::size_t kClients = 4;
@@ -92,9 +113,9 @@ int main() {
               static_cast<unsigned long long>(cache.misses),
               static_cast<unsigned long long>(cache.entries));
 
-  // Served output == direct forward on the same image, bit for bit.
-  const Tensor4f direct = wino::nn::forward(layers, weights, inputs[0],
-                                            wino::nn::ConvAlgo::kWinograd2);
+  // Served output == direct forward of the same plan, bit for bit.
+  const Tensor4f direct =
+      wino::nn::forward(server.model_plan(vgg), weights, inputs[0]);
   const bool identical =
       direct.shape() == outputs[0].shape() &&
       std::memcmp(direct.flat().data(), outputs[0].flat().data(),

@@ -6,17 +6,23 @@
 // verifying that the logits agree and reporting wall-clock time per
 // algorithm — the software analogue of the paper's engine comparison.
 //
-// Usage: ./examples/vgg16_inference [scale] [channel_div] [threads]
+// Usage: ./examples/vgg16_inference [scale] [channel_div] [threads] [algo]
 //   scale       divides the 224x224 input (default 7 -> 32x32)
 //   channel_div divides the channel counts (default 8)
 //   threads     runtime thread-pool size (default: WINO_THREADS or cores)
+//   algo        run only this algorithm against the spatial reference
+//               (nn::parse_conv_algo names, e.g. "w4"); default: all, plus
+//               the cost-model planner's per-layer mix.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
+#include <vector>
 
 #include "common/random.hpp"
 #include "common/table.hpp"
 #include "nn/forward.hpp"
+#include "nn/plan.hpp"
 #include "runtime/thread_pool.hpp"
 
 int main(int argc, char** argv) {
@@ -33,6 +39,15 @@ int main(int argc, char** argv) {
     }
     wino::runtime::ThreadPool::set_global_threads(
         static_cast<std::size_t>(threads));
+  }
+  std::optional<wino::nn::ConvAlgo> only;
+  if (argc > 4) {
+    try {
+      only = wino::nn::parse_conv_algo(argv[4]);
+    } catch (const std::invalid_argument& err) {
+      std::fprintf(stderr, "%s\n", err.what());
+      return 1;
+    }
   }
 
   const auto layers = wino::nn::vgg16_d_scaled(scale, channel_div);
@@ -62,13 +77,32 @@ int main(int argc, char** argv) {
   wino::common::TextTable t;
   t.header({"Algorithm", "time (ms)", "speedup", "max rel err vs spatial"});
   t.row({"spatial", wino::common::TextTable::num(ref_ms, 1), "1.00", "-"});
-  for (const auto algo :
-       {wino::nn::ConvAlgo::kIm2col, wino::nn::ConvAlgo::kFft,
-        wino::nn::ConvAlgo::kWinograd2, wino::nn::ConvAlgo::kWinograd3,
-        wino::nn::ConvAlgo::kWinograd4}) {
+  std::vector<wino::nn::ConvAlgo> algos;
+  if (only) {
+    algos = {*only};
+  } else {
+    algos = {wino::nn::ConvAlgo::kIm2col, wino::nn::ConvAlgo::kFft,
+             wino::nn::ConvAlgo::kWinograd2, wino::nn::ConvAlgo::kWinograd3,
+             wino::nn::ConvAlgo::kWinograd4};
+  }
+  for (const auto algo : algos) {
     const auto [out, ms] = run(algo);
     const float err = wino::tensor::max_abs_diff(out, ref) / ref_scale;
     t.row({wino::nn::to_string(algo), wino::common::TextTable::num(ms, 1),
+           wino::common::TextTable::num(ref_ms / ms, 2),
+           wino::common::TextTable::num(static_cast<double>(err), 7)});
+  }
+  if (!only) {
+    // The execution planner's per-layer mix (measured microbenchmark
+    // scoring; probes are cached per process).
+    const auto plan = wino::nn::plan_execution(layers);
+    const auto t0 = Clock::now();
+    const auto out = wino::nn::forward(plan, weights, input);
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    const float err = wino::tensor::max_abs_diff(out, ref) / ref_scale;
+    t.row({plan.uniform() ? "planned (uniform)" : "planned (mixed)",
+           wino::common::TextTable::num(ms, 1),
            wino::common::TextTable::num(ref_ms / ms, 2),
            wino::common::TextTable::num(static_cast<double>(err), 7)});
   }

@@ -23,20 +23,28 @@ inline bool has_flag(int argc, char** argv, const std::string& flag) {
 }
 
 /// Validate a bench binary's command line: every argument must be one of
-/// `flags` or `--out <path>`. On the first malformed argument the
-/// offender and `usage` go to stderr and false comes back so the caller
-/// exits non-zero — a mistyped flag in a CI smoke invocation (e.g.
-/// `--qiuck`) must fail the job loudly, not silently run the full sweep
-/// and pass.
+/// `flags`, one of `value_flags` followed by a value, or `--out <path>`.
+/// On the first malformed argument the offender and `usage` go to stderr
+/// and false comes back so the caller exits non-zero — a mistyped flag in
+/// a CI smoke invocation (e.g. `--qiuck`) must fail the job loudly, not
+/// silently run the full sweep and pass.
 inline bool validate_bench_args(int argc, char** argv,
                                 std::initializer_list<const char*> flags,
+                                std::initializer_list<const char*> value_flags,
                                 const char* usage) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--out") {
+    bool takes_value = arg == "--out";
+    for (const char* f : value_flags) {
+      if (arg == f) {
+        takes_value = true;
+        break;
+      }
+    }
+    if (takes_value) {
       if (i + 1 >= argc || argv[i + 1][0] == '-') {
-        std::fprintf(stderr, "error: --out requires a path\nusage: %s\n",
-                     usage);
+        std::fprintf(stderr, "error: %s requires a value\nusage: %s\n",
+                     arg.c_str(), usage);
         return false;
       }
       ++i;
@@ -56,6 +64,23 @@ inline bool validate_bench_args(int argc, char** argv,
     }
   }
   return true;
+}
+
+inline bool validate_bench_args(int argc, char** argv,
+                                std::initializer_list<const char*> flags,
+                                const char* usage) {
+  return validate_bench_args(argc, argv, flags, {}, usage);
+}
+
+/// Value of `flag` (the argument following it), or `fallback` when the
+/// flag is absent. Call only after validate_bench_args accepted the
+/// command line (which guarantees the value exists).
+inline std::string flag_value(int argc, char** argv, const std::string& flag,
+                              const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return argv[i + 1];
+  }
+  return fallback;
 }
 
 /// Resolve the output path for a bench artifact named `default_name`:

@@ -26,6 +26,37 @@ std::size_t mult_complexity(const nn::ConvLayerSpec& layer, int m,
   return batch * outputs * layer.c * layer.k * tile * tile / (mu * mu);
 }
 
+std::size_t mult_complexity_tiled(const nn::ConvLayerSpec& layer, int m,
+                                  std::size_t batch) {
+  if (m < 1) {
+    throw std::invalid_argument("mult_complexity_tiled: m must be >= 1");
+  }
+  const auto mu = static_cast<std::size_t>(m);
+  const std::size_t tile = mu + layer.r - 1;
+  const std::size_t tiles = ((layer.out_h() + mu - 1) / mu) *
+                            ((layer.out_w() + mu - 1) / mu);
+  return batch * tiles * tile * tile * layer.c * layer.k;
+}
+
+TransformComplexity transform_complexity_tiled(const nn::ConvLayerSpec& layer,
+                                               int m,
+                                               const TransformCosts& costs,
+                                               std::size_t batch) {
+  if (m < 1) throw std::invalid_argument("transform_complexity_tiled: bad m");
+  const auto mu = static_cast<std::size_t>(m);
+  const double tiles =
+      static_cast<double>(batch * ((layer.out_h() + mu - 1) / mu) *
+                          ((layer.out_w() + mu - 1) / mu));
+  TransformComplexity t;
+  t.data = tiles * static_cast<double>(costs.beta) *
+           static_cast<double>(layer.c);
+  t.filter = static_cast<double>(costs.gamma) *
+             static_cast<double>(layer.c * layer.k);
+  t.inverse = tiles * static_cast<double>(costs.delta) *
+              static_cast<double>(layer.k);
+  return t;
+}
+
 std::size_t mult_complexity(const nn::ConvGroup& group, int m,
                             std::size_t batch) {
   std::size_t total = 0;

@@ -37,6 +37,16 @@ std::size_t mult_complexity(const nn::ConvGroup& group, int m,
 std::size_t mult_complexity(const nn::ConvWorkload& net, int m,
                             std::size_t batch = 1);
 
+/// Exact-tiling variant of Eq 4 for the per-layer execution planner:
+/// counts ceil(out/m)^2 tiles of (m+r-1)^2 multiplications each, so ragged
+/// edge tiles (out_h % m, out_w % m) are charged in full instead of being
+/// averaged away by the paper's continuous H*W/m^2 model. Equal to
+/// mult_complexity() whenever m divides both output extents; strictly
+/// larger otherwise — the effect that makes large m a loss on small late-
+/// network feature maps and the best F(m, r) genuinely layer-dependent.
+std::size_t mult_complexity_tiled(const nn::ConvLayerSpec& layer, int m,
+                                  std::size_t batch = 1);
+
 /// Transform complexities of Eq 5 for one layer (batch N):
 ///   T(D) = beta/m^2  * N*H*W*C
 ///   T(F) = gamma     * C*K
@@ -54,6 +64,17 @@ TransformComplexity transform_complexity(const nn::ConvLayerSpec& layer,
 TransformComplexity transform_complexity(const nn::ConvWorkload& net, int m,
                                          const TransformCosts& costs,
                                          std::size_t batch = 1);
+
+/// Eq 5 with the same exact tile counts as mult_complexity_tiled:
+/// T(D) = tiles*C*beta and T(I) = tiles*K*delta per image. The filter
+/// transform (gamma) is still reported but is excluded by the runtime
+/// cost model — forward() reads filter transforms from the cross-call
+/// cache, matching the paper's "filter transforms are assumed to be
+/// precomputed".
+TransformComplexity transform_complexity_tiled(const nn::ConvLayerSpec& layer,
+                                               int m,
+                                               const TransformCosts& costs,
+                                               std::size_t batch = 1);
 
 /// Implementation transform complexity of the proposed design (Eq 7):
 ///   OT = N*H*W*C*K/m^2 * (beta/P + delta)

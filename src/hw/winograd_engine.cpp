@@ -1,5 +1,6 @@
 #include "hw/winograd_engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
@@ -111,6 +112,29 @@ SimResult WinogradEngine::run_layer(const tensor::PackedActivation& input,
                                     const Tensor4f& kernels, int pad,
                                     SimMode mode) const {
   return run_layer(tensor::unpack(input), kernels, pad, mode);
+}
+
+WinogradEngine WinogradEngine::retiled(int m) const {
+  if (m < 1) {
+    throw std::invalid_argument("WinogradEngine::retiled: m must be >= 1");
+  }
+  EngineConfig cfg = config_;
+  const std::size_t budget = cfg.parallel_pes * cfg.tile() * cfg.tile();
+  cfg.m = m;
+  cfg.parallel_pes = std::max<std::size_t>(
+      1, budget / (cfg.tile() * cfg.tile()));
+  // Stage latencies were resolved for the old tile; re-derive them from
+  // the new transform program's DAG depth.
+  cfg.data_transform_latency = 0;
+  cfg.inverse_latency = 0;
+  return WinogradEngine(cfg);
+}
+
+SimResult WinogradEngine::run_layer(const tensor::PackedActivation& input,
+                                    const Tensor4f& kernels, int pad, int m,
+                                    SimMode mode) const {
+  if (m == config_.m) return run_layer(input, kernels, pad, mode);
+  return retiled(m).run_layer(input, kernels, pad, mode);
 }
 
 SimResult WinogradEngine::run_layer(const Tensor4f& input,

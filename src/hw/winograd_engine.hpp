@@ -76,6 +76,20 @@ class WinogradEngine {
                       const tensor::Tensor4f& kernels, int pad,
                       SimMode mode = SimMode::kFunctional) const;
 
+  /// A copy of this engine re-tiled to F(m x m, r): the multiplier budget
+  /// (parallel_pes x tile^2) is re-divided into (m + r - 1)^2-wide PEs (at
+  /// least one), every other knob — clock, bandwidth, style, stage
+  /// latencies in their "derive from the DAG" defaults — carries over.
+  /// The hook the per-layer execution planner uses to drive one simulated
+  /// chip at each layer's planned m (nn/plan.hpp), modelling a
+  /// reconfigurable or multi-engine deployment of the paper's datapath.
+  [[nodiscard]] WinogradEngine retiled(int m) const;
+
+  /// run_layer under the plan's per-layer m: retiled(m).run_layer(...).
+  SimResult run_layer(const tensor::PackedActivation& input,
+                      const tensor::Tensor4f& kernels, int pad, int m,
+                      SimMode mode = SimMode::kFunctional) const;
+
   /// Timing-only simulation driven by a layer spec (no tensors).
   SimStats run_layer_timing(const nn::ConvLayerSpec& layer,
                             std::size_t batch = 1) const;

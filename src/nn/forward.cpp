@@ -14,6 +14,7 @@
 #include "conv/fft.hpp"
 #include "conv/im2col.hpp"
 #include "conv/spatial.hpp"
+#include "nn/plan.hpp"
 #include "runtime/thread_pool.hpp"
 #include "winograd/kernels.hpp"
 
@@ -21,9 +22,6 @@ namespace wino::nn {
 
 using tensor::Tensor4f;
 
-namespace {
-
-/// F(m) tile size for the Winograd algos; 0 for everything else.
 int winograd_m(ConvAlgo algo) {
   switch (algo) {
     case ConvAlgo::kWinograd2:
@@ -36,6 +34,8 @@ int winograd_m(ConvAlgo algo) {
       return 0;
   }
 }
+
+namespace {
 
 /// One cached per-layer Winograd prep: the compiled F(m x m, r x r)
 /// transformer plus the transformed kernel bank V = G g G^T for every
@@ -152,6 +152,20 @@ std::string to_string(ConvAlgo algo) {
       return "winograd-F(4x4,3x3)";
   }
   return "unknown";
+}
+
+ConvAlgo parse_conv_algo(const std::string& name) {
+  for (const ConvAlgo algo :
+       {ConvAlgo::kSpatial, ConvAlgo::kIm2col, ConvAlgo::kFft,
+        ConvAlgo::kWinograd2, ConvAlgo::kWinograd3, ConvAlgo::kWinograd4}) {
+    if (name == to_string(algo)) return algo;
+  }
+  if (name == "winograd2" || name == "w2") return ConvAlgo::kWinograd2;
+  if (name == "winograd3" || name == "w3") return ConvAlgo::kWinograd3;
+  if (name == "winograd4" || name == "w4") return ConvAlgo::kWinograd4;
+  throw std::invalid_argument(
+      "parse_conv_algo: unknown algorithm '" + name +
+      "' (expected spatial, im2col, fft, or winograd2/3/4)");
 }
 
 Tensor4f run_conv(ConvAlgo algo, const Tensor4f& input,
@@ -311,43 +325,49 @@ Tensor4f forward_sequential_nchw(const std::vector<LayerSpec>& layers,
   return act;
 }
 
-/// Layout-planned data flow (LayoutPolicy::kAuto): activations travel in
-/// the layout the planning pass picked per boundary. Winograd conv chains
-/// hand off in m x m tile form with ReLU fused into the output scatter;
-/// im2col layers consume an explicitly packed patch panel; every other
-/// consumer (maxpool, FC, spatial/FFT conv) receives NCHW. Bit-identical
-/// to forward_sequential_nchw: conversions are value-preserving
-/// permutations and all arithmetic runs in the same order on the same
-/// values (pinned by tests/nn_forward_test.cpp).
-Tensor4f forward_sequential(const std::vector<LayerSpec>& layers,
-                            const WeightBank& weights, const Tensor4f& input,
-                            ConvAlgo algo, LayoutPolicy policy) {
-  if (policy == LayoutPolicy::kAlwaysNCHW) {
-    return forward_sequential_nchw(layers, weights, input, algo);
-  }
-  const int m = winograd_m(algo);
-  const LayoutPlan plan = plan_layouts(layers, algo);
+/// Plan-driven data flow: one walk of the layer stack with each layer's
+/// algorithm, handoff layout and ReLU fusion taken from its LayerPlan.
+/// Winograd conv layers scatter straight into the planned output layout
+/// (tile form for tiled handoffs — the consumer's gather accepts any
+/// producer tile edge, so mixed-m boundaries need no repack); the tiled
+/// maxpool pools directly on whatever form arrives; im2col layers consume
+/// an explicitly packed patch panel; every other consumer receives NCHW.
+/// Bit-identical to forward_reference (the per-layer always-NCHW
+/// composition): conversions are value-preserving permutations and all
+/// arithmetic runs in the same order on the same values (pinned by
+/// tests/nn_forward_test.cpp and tests/nn_plan_test.cpp).
+Tensor4f forward_plan_sequential(const ExecutionPlan& plan,
+                                 const WeightBank& weights,
+                                 const Tensor4f& input) {
+  const std::vector<LayerSpec>& layers = plan.layers;
   tensor::PackedActivation act =
       tensor::PackedActivation::from_nchw(Tensor4f(input));
   std::size_t conv_idx = 0;
   std::size_t fc_idx = 0;
   for (std::size_t li = 0; li < layers.size(); ++li) {
     const auto& l = layers[li];
+    const LayerPlan& step = plan.steps[li];
     switch (l.kind) {
       case LayerKind::kConv: {
         if (conv_idx >= weights.conv_kernels.size()) {
           throw std::invalid_argument("forward: missing conv weights");
         }
         const Tensor4f& kern = weights.conv_kernels[conv_idx];
-        if (m > 0) {
+        if (const int m = winograd_m(step.algo); m > 0) {
           const auto entry = transform_cache().get(
               {weights.version, conv_idx, m, kern.shape().h}, kern);
           winograd::WinogradConvOptions wopt;
           wopt.pad = l.conv.pad;
           act = winograd::conv2d_winograd_layout(
-              act, entry->tk, entry->xf, wopt, plan.output_kind[li],
-              /*fuse_relu=*/true);
-        } else if (algo == ConvAlgo::kIm2col) {
+              act, entry->tk, entry->xf, wopt, step.output_kind,
+              step.fused_relu);
+          if (!step.fused_relu) {
+            // Same values as relu_inplace on the NCHW tensor: the packed
+            // buffer is a permutation (plus zero ragged fill, fixed by
+            // max(0, .)).
+            for (float& v : act.data) v = v > 0.0F ? v : 0.0F;
+          }
+        } else if (step.algo == ConvAlgo::kIm2col) {
           // The panel is the backend's preferred input form. Pack and
           // consume it one image at a time — a single panel buffer alive
           // per walk, like the pre-layout path's reused scratch — rather
@@ -387,7 +407,7 @@ Tensor4f forward_sequential(const std::vector<LayerSpec>& layers,
           act = tensor::PackedActivation::from_nchw(std::move(out));
         } else {
           const Tensor4f in = take_nchw(std::move(act));
-          Tensor4f out = run_conv(algo, in, kern, l.conv.pad);
+          Tensor4f out = run_conv(step.algo, in, kern, l.conv.pad);
           relu_inplace(out);
           act = tensor::PackedActivation::from_nchw(std::move(out));
         }
@@ -395,8 +415,10 @@ Tensor4f forward_sequential(const std::vector<LayerSpec>& layers,
         break;
       }
       case LayerKind::kMaxPool: {
-        const Tensor4f in = take_nchw(std::move(act));
-        act = tensor::PackedActivation::from_nchw(maxpool2x2(in));
+        // The tiled maxpool reads NCHW or any tile edge and writes the
+        // planned output form directly, so conv -> pool -> conv chains
+        // stay in tile form end to end.
+        act = maxpool2x2_packed(act, step.output_kind, step.out_tile_m);
         break;
       }
       case LayerKind::kFullyConnected: {
@@ -434,6 +456,35 @@ void prewarm_transforms(const std::vector<LayerSpec>& layers,
   }
 }
 
+/// Plan-aware prewarm: the cache key already carries a per-layer m, so a
+/// mixed-m plan simply warms each conv layer's own (layer, m, r) entry.
+void prewarm_transforms(const ExecutionPlan& plan, const WeightBank& weights) {
+  std::size_t conv_idx = 0;
+  for (std::size_t li = 0; li < plan.layers.size(); ++li) {
+    if (plan.layers[li].kind != LayerKind::kConv) continue;
+    if (conv_idx >= weights.conv_kernels.size()) break;
+    if (const int m = winograd_m(plan.steps[li].algo); m > 0) {
+      const Tensor4f& kern = weights.conv_kernels[conv_idx];
+      transform_cache().get({weights.version, conv_idx, m, kern.shape().h},
+                            kern);
+    }
+    ++conv_idx;
+  }
+}
+
+// Roughly half a typical L2 slice, leaving room for kernels + scratch:
+// the budget the transform-domain working set of a worker chunk must fit.
+constexpr std::size_t kSubbatchCacheBudget = 768u << 10;
+
+/// Per-image transform-domain working set of one Winograd conv layer:
+/// the (m+r-1)^2 / m^2 expansion over its input + output activations.
+std::size_t winograd_layer_bytes(const ConvLayerSpec& l, int m) {
+  const auto mu = static_cast<std::size_t>(m);
+  const std::size_t alpha = mu + l.r - 1;
+  return l.h * l.w * (l.c + l.k) * sizeof(float) * (alpha * alpha) /
+         (mu * mu);
+}
+
 /// Images a worker chunk marches through the stack together when filter
 /// transforms come from the cross-call cache. Larger sub-batches feed the
 /// Winograd coordinate GEMMs more rows (packing amortised over the batch),
@@ -445,16 +496,77 @@ std::size_t cached_subbatch(const std::vector<LayerSpec>& layers, int m) {
   std::size_t worst_bytes = 1;
   for (const auto& l : layers) {
     if (l.kind != LayerKind::kConv) continue;
-    // Transform-domain expansion is (m+r-1)^2 / m^2 per layer tile size.
-    const std::size_t alpha = static_cast<std::size_t>(m) + l.conv.r - 1;
-    const std::size_t bytes = l.conv.h * l.conv.w * (l.conv.c + l.conv.k) *
-                              sizeof(float) * (alpha * alpha) /
-                              (static_cast<std::size_t>(m) * m);
-    worst_bytes = std::max(worst_bytes, bytes);
+    worst_bytes = std::max(worst_bytes, winograd_layer_bytes(l.conv, m));
   }
-  // Roughly half a typical L2 slice, leaving room for kernels + scratch.
-  constexpr std::size_t kCacheBudget = 768u << 10;
-  return std::max<std::size_t>(1, kCacheBudget / worst_bytes);
+  return std::max<std::size_t>(1, kSubbatchCacheBudget / worst_bytes);
+}
+
+/// cached_subbatch generalised to a mixed-m plan: each Winograd layer's
+/// transform-domain working set is sized with that layer's own m. Plans
+/// with no Winograd layer have no cross-call cached transforms, so the
+/// whole range stays one chunk per thread — `batch` (the full range)
+/// comes back rather than an unbounded sentinel, keeping the caller's
+/// `i += cap` chunk walk overflow-free.
+///
+/// Known trade-off: in a plan mixing Winograd with an FFT layer, the
+/// Winograd cache budget wins and the FFT layer re-derives its per-call
+/// kernel FFTs once per sub-batch instead of the legacy once per thread
+/// chunk. Deliberate: the measured planner picks kFft only where FFT
+/// actually wins the layer (rare at r = 3), while every Winograd layer
+/// in the plan benefits from cache-resident chunks on every batch.
+/// Cross-call FFT kernel caching would dissolve the tension if such
+/// plans become common.
+std::size_t plan_subbatch(const ExecutionPlan& plan, std::size_t batch) {
+  std::size_t worst_bytes = 0;
+  for (std::size_t li = 0; li < plan.layers.size(); ++li) {
+    if (plan.layers[li].kind != LayerKind::kConv) continue;
+    const int m = winograd_m(plan.steps[li].algo);
+    if (m == 0) continue;
+    worst_bytes =
+        std::max(worst_bytes, winograd_layer_bytes(plan.layers[li].conv, m));
+  }
+  if (worst_bytes == 0) return batch;
+  return std::max<std::size_t>(1, kSubbatchCacheBudget / worst_bytes);
+}
+
+/// Shared batch fan-out skeleton: split the batch into cache-budgeted
+/// contiguous sub-batches, run `leaf` on each image-parallel on the global
+/// ThreadPool, and stitch the chunk outputs back in order. Every layer
+/// treats images independently, so chunk composition never changes results
+/// (pinned by tests/serve_test.cpp).
+template <typename Leaf>
+Tensor4f batched_forward(const Tensor4f& input, std::size_t cap,
+                         const Leaf& leaf) {
+  const auto& is = input.shape();
+  const std::size_t image_volume = is.c * is.h * is.w;
+  std::vector<Tensor4f> per_chunk(is.n);
+  std::vector<std::size_t> chunk_first(is.n, 0);
+  runtime::parallel_for(is.n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; i += cap) {
+      const std::size_t count = std::min(cap, end - i);
+      Tensor4f sub(count, is.c, is.h, is.w);
+      const auto src = input.flat().subspan(i * image_volume, sub.size());
+      std::copy(src.begin(), src.end(), sub.flat().begin());
+      per_chunk[i] = leaf(sub);
+      chunk_first[i] = 1;
+    }
+  });
+
+  // Chunk results are keyed by their first image index; stitch in order.
+  const Tensor4f* first = nullptr;
+  for (std::size_t i = 0; i < is.n && !first; ++i) {
+    if (chunk_first[i]) first = &per_chunk[i];
+  }
+  const auto& os = first->shape();
+  Tensor4f out(is.n, os.c, os.h, os.w);
+  const std::size_t out_volume = os.c * os.h * os.w;
+  for (std::size_t i = 0; i < is.n; ++i) {
+    if (!chunk_first[i]) continue;
+    const auto src = per_chunk[i].flat();
+    auto dst = out.flat().subspan(i * out_volume, src.size());
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
 }
 
 }  // namespace
@@ -493,55 +605,51 @@ LayoutPlan plan_layouts(const std::vector<LayerSpec>& layers,
   return plan;
 }
 
+Tensor4f forward(const ExecutionPlan& plan, const WeightBank& weights,
+                 const Tensor4f& input) {
+  if (plan.steps.size() != plan.layers.size()) {
+    throw std::invalid_argument(
+        "forward: plan steps do not match its layer stack");
+  }
+  prewarm_transforms(plan, weights);
+  // Batch-parallel: every layer treats images independently, so running a
+  // contiguous sub-batch through the stack alone reproduces the batched
+  // result bit-for-bit. Winograd layers read their filter transforms from
+  // the cross-call cache (prewarmed above), so chunks walk the batch in
+  // cache-budgeted sub-batches (see plan_subbatch) — bit-identical either
+  // way.
+  if (input.shape().n <= 1) {
+    return forward_plan_sequential(plan, weights, input);
+  }
+  return batched_forward(input, plan_subbatch(plan, input.shape().n),
+                         [&](const Tensor4f& s) {
+                           return forward_plan_sequential(plan, weights, s);
+                         });
+}
+
 Tensor4f forward(const std::vector<LayerSpec>& layers,
                  const WeightBank& weights, const Tensor4f& input,
                  ConvAlgo algo, LayoutPolicy policy) {
+  if (policy == LayoutPolicy::kAuto) {
+    // The uniform-algo entry is a thin wrapper over the plan executor.
+    return forward(uniform_plan(layers, algo), weights, input);
+  }
+  // Legacy reference flow: NCHW at every boundary, separate ReLU pass.
+  // For algorithms with real per-call kernel preprocessing (FFT kernel
+  // transforms) the split is per-thread sub-batches, keeping that prep to
+  // at most thread-count repeats; Winograd chunks are cache-budgeted as in
+  // the planned path.
   prewarm_transforms(layers, weights, algo);
   const auto& is = input.shape();
-  // Batch-parallel: every layer treats images independently, so running a
-  // contiguous sub-batch through the stack alone reproduces the batched
-  // result bit-for-bit. For algorithms with real per-call kernel
-  // preprocessing (FFT kernel transforms) the split is per-thread
-  // sub-batches, keeping that prep to at most thread-count repeats. The
-  // Winograd algos read their filter transforms from the cross-call cache
-  // instead, so their chunks walk the batch in cache-budgeted sub-batches
-  // (see cached_subbatch) — bit-identical either way.
   if (is.n <= 1) {
-    return forward_sequential(layers, weights, input, algo, policy);
+    return forward_sequential_nchw(layers, weights, input, algo);
   }
   const int wino_m = winograd_m(algo);
   const std::size_t cap =
       wino_m > 0 ? cached_subbatch(layers, wino_m) : is.n;
-
-  const std::size_t image_volume = is.c * is.h * is.w;
-  std::vector<Tensor4f> per_chunk(is.n);
-  std::vector<std::size_t> chunk_first(is.n, 0);
-  runtime::parallel_for(is.n, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; i += cap) {
-      const std::size_t count = std::min(cap, end - i);
-      Tensor4f sub(count, is.c, is.h, is.w);
-      const auto src = input.flat().subspan(i * image_volume, sub.size());
-      std::copy(src.begin(), src.end(), sub.flat().begin());
-      per_chunk[i] = forward_sequential(layers, weights, sub, algo, policy);
-      chunk_first[i] = 1;
-    }
+  return batched_forward(input, cap, [&](const Tensor4f& s) {
+    return forward_sequential_nchw(layers, weights, s, algo);
   });
-
-  // Chunk results are keyed by their first image index; stitch in order.
-  const Tensor4f* first = nullptr;
-  for (std::size_t i = 0; i < is.n && !first; ++i) {
-    if (chunk_first[i]) first = &per_chunk[i];
-  }
-  const auto& os = first->shape();
-  Tensor4f out(is.n, os.c, os.h, os.w);
-  const std::size_t out_volume = os.c * os.h * os.w;
-  for (std::size_t i = 0; i < is.n; ++i) {
-    if (!chunk_first[i]) continue;
-    const auto src = per_chunk[i].flat();
-    auto dst = out.flat().subspan(i * out_volume, src.size());
-    std::copy(src.begin(), src.end(), dst.begin());
-  }
-  return out;
 }
 
 Tensor4f stack_images(const std::vector<const Tensor4f*>& images) {

@@ -29,6 +29,18 @@ enum class ConvAlgo {
 
 [[nodiscard]] std::string to_string(ConvAlgo algo);
 
+/// Inverse of to_string(ConvAlgo), also accepting the short command-line
+/// spellings: "spatial", "im2col", "fft", "winograd2" / "w2" (likewise 3,
+/// 4) and the canonical "winograd-F(2x2,3x3)" forms. The shared parser
+/// for every bench/example algo flag — binaries must not grow their own
+/// if/else ladders. Throws std::invalid_argument on an unknown name.
+[[nodiscard]] ConvAlgo parse_conv_algo(const std::string& name);
+
+/// F(m) output-tile edge of the Winograd algos; 0 for every other
+/// algorithm (the "has a tiled form" predicate the layout and execution
+/// planners branch on).
+[[nodiscard]] int winograd_m(ConvAlgo algo);
+
 /// Dispatch one convolution (stride 1) with the chosen algorithm.
 tensor::Tensor4f run_conv(ConvAlgo algo, const tensor::Tensor4f& input,
                           const tensor::Tensor4f& kernels, int pad);
@@ -106,11 +118,22 @@ struct LayoutPlan {
 /// layer under a Winograd algo keeps its output in tile form; any boundary
 /// into a maxpool / fully-connected / non-Winograd conv layer (and the
 /// final output) is NCHW.
+///
+/// Legacy single-algo reporting pass, kept for the layout bench and its
+/// tests: execution itself now derives layouts from the per-layer
+/// ExecutionPlan (nn/plan.hpp), whose rules extend these with mixed-m
+/// handoffs and tiled maxpool boundaries.
 [[nodiscard]] LayoutPlan plan_layouts(const std::vector<LayerSpec>& layers,
                                       ConvAlgo algo);
 
 /// Run the layer stack; conv layers use `algo`. Input must match the first
 /// layer's (c, h, w). Returns the final activation tensor.
+///
+/// Under kAuto this is a thin wrapper over the per-layer execution engine:
+/// it builds the trivial uniform plan (every conv layer runs `algo`; see
+/// nn/plan.hpp) and executes it with the plan-driven forward(ExecutionPlan)
+/// overload. The cost-model planner (plan_execution) produces mixed
+/// per-layer plans for the same executor.
 ///
 /// Batches run image-parallel on the runtime's global ThreadPool; every
 /// layer treats images independently, so the result is bit-identical for

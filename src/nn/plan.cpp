@@ -1,0 +1,583 @@
+#include "nn/plan.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/random.hpp"
+#include "dse/complexity.hpp"
+#include "runtime/thread_pool.hpp"
+#include "winograd/kernels.hpp"
+
+namespace wino::nn {
+
+using tensor::Layout;
+using tensor::LayoutKind;
+using tensor::PackedActivation;
+using tensor::Shape4;
+using tensor::Tensor4f;
+
+namespace {
+
+/// Modelled op count of one conv layer under `algo` (the numerator the
+/// calibrated GFLOP/s divides). Winograd: Eq 4 + Eq 5 data/inverse with
+/// exact ragged tiles, filter transforms excluded (cross-call cache).
+/// Spatial/im2col: delivered spatial multiply+add ops. FFT: padded-grid
+/// transform + complex pointwise model matching conv::conv2d_fft's shape
+/// (fft_size = next_pow2(max(H, W) + r - 1)).
+double modelled_ops(const ConvLayerSpec& layer, ConvAlgo algo,
+                    std::size_t batch) {
+  const int m = winograd_m(algo);
+  if (m > 0) {
+    const auto costs = dse::TransformCosts::from_generated(
+        m, static_cast<int>(layer.r));
+    const auto t = dse::transform_complexity_tiled(layer, m, costs, batch);
+    return 2.0 * static_cast<double>(
+                     dse::mult_complexity_tiled(layer, m, batch)) +
+           t.data + t.inverse;
+  }
+  if (algo == ConvAlgo::kFft) {
+    std::size_t fft_size = 1;
+    while (fft_size < std::max(layer.h, layer.w) + layer.r - 1) {
+      fft_size <<= 1;
+    }
+    const double grid = static_cast<double>(fft_size * fft_size);
+    // One 2-D FFT = 2 * L length-L line FFTs at ~5 L log2 L real ops.
+    const double f2d = 10.0 * grid * std::log2(static_cast<double>(fft_size));
+    const double n = static_cast<double>(batch);
+    const double c = static_cast<double>(layer.c);
+    const double k = static_cast<double>(layer.k);
+    return c * k * f2d           // kernel transforms (per call)
+           + n * c * f2d         // data transforms
+           + n * k * f2d         // inverse transforms
+           + n * c * k * grid * 8.0;  // complex pointwise multiply-accumulate
+  }
+  return static_cast<double>(layer.spatial_ops(batch));
+}
+
+/// Best-of-3 wall clock of `fn` after one warm-up run, in seconds.
+template <typename Fn>
+double best_seconds(Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  fn();
+  double best = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = Clock::now();
+    fn();
+    best = std::min(best,
+                    std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+  return std::max(best, 1e-9);
+}
+
+/// One probe layer's measurement for every backend class.
+struct ProbePoint {
+  ConvLayerSpec layer;
+  double ops[6];     // modelled ops, indexed as `kProbeAlgos`
+  double gflops[6];  // delivered rate
+};
+
+constexpr ConvAlgo kProbeAlgos[6] = {
+    ConvAlgo::kSpatial,   ConvAlgo::kIm2col,    ConvAlgo::kFft,
+    ConvAlgo::kWinograd2, ConvAlgo::kWinograd3, ConvAlgo::kWinograd4};
+
+/// Time one conv layer under `algo` the way forward() executes it: the
+/// Winograd backends get precomputed filter transforms (the executor
+/// reads them from the cross-call cache and the op model excludes them)
+/// and run the layout-aware kernel the plan walk dispatches; everything
+/// else runs through run_conv. One warm-up, best of 3, single image.
+double measure_layer_seconds(const ConvLayerSpec& layer, ConvAlgo algo) {
+  Tensor4f input(1, layer.c, layer.h, layer.w);
+  Tensor4f kernels(layer.k, layer.c, layer.r, layer.r);
+  common::Rng rng(123);
+  rng.fill_uniform(input.flat(), -1.0F, 1.0F);
+  rng.fill_normal(kernels.flat(), 0.0F, 0.1F);
+
+  if (const int m = winograd_m(algo); m > 0) {
+    const winograd::TileTransformer xf(
+        winograd::transforms(m, static_cast<int>(layer.r)));
+    const winograd::TransformedKernels tk(xf, kernels);
+    winograd::WinogradConvOptions wopt;
+    wopt.pad = layer.pad;
+    const PackedActivation act = PackedActivation::from_nchw(std::move(input));
+    return best_seconds([&] {
+      (void)winograd::conv2d_winograd_layout(act, tk, xf, wopt,
+                                             LayoutKind::kNCHW,
+                                             /*fuse_relu=*/false);
+    });
+  }
+  return best_seconds(
+      [&] { (void)run_conv(algo, input, kernels, layer.pad); });
+}
+
+/// Per-process cache of measured per-layer timings keyed by the layer
+/// geometry: repeated shapes (VGG's towers of identical layers, repeated
+/// session registrations over one architecture) measure once.
+class LayerTimeCache {
+ public:
+  double seconds(const ConvLayerSpec& layer, ConvAlgo algo) {
+    const Key key{layer.h, layer.w, layer.c, layer.k, layer.r, layer.pad,
+                  algo};
+    {
+      std::lock_guard lock(mutex_);
+      if (const auto it = map_.find(key); it != map_.end()) {
+        return it->second;
+      }
+    }
+    // Measure outside the lock (concurrent registrations may redundantly
+    // measure the same shape; last write wins with an identical meaning).
+    const double secs = measure_layer_seconds(layer, algo);
+    std::lock_guard lock(mutex_);
+    return map_.emplace(key, secs).first->second;
+  }
+
+ private:
+  struct Key {
+    std::size_t h, w, c, k, r;
+    int pad;
+    ConvAlgo algo;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = k.h;
+      for (const std::size_t v :
+           {k.w, k.c, k.k, k.r, static_cast<std::size_t>(k.pad),
+            static_cast<std::size_t>(k.algo)}) {
+        h = h * 1315423911u ^ v;
+      }
+      return h;
+    }
+  };
+
+  std::mutex mutex_;
+  std::unordered_map<Key, double, KeyHash> map_;
+};
+
+LayerTimeCache& layer_time_cache() {
+  static LayerTimeCache cache;
+  return cache;
+}
+
+ProbePoint probe_point(std::size_t hw, std::size_t channels) {
+  ProbePoint p;
+  p.layer.h = hw;
+  p.layer.w = hw;
+  p.layer.c = channels;
+  p.layer.k = channels;
+  p.layer.r = 3;
+  p.layer.pad = 1;
+  for (int a = 0; a < 6; ++a) {
+    p.ops[a] = modelled_ops(p.layer, kProbeAlgos[a], 1);
+    p.gflops[a] =
+        p.ops[a] / layer_time_cache().seconds(p.layer, kProbeAlgos[a]) / 1e9;
+  }
+  return p;
+}
+
+Calibration probe_calibration() {
+  // Big anchor: a mid-network-ish layer where every backend is compute
+  // bound. Small anchor: a late-network tiny map where per-call overheads
+  // (panel packing, tile setup, tiny GEMMs) dominate — the regime where a
+  // big-map rate would wildly overrate the GEMM backends.
+  const ProbePoint big = probe_point(/*hw=*/16, /*channels=*/32);
+  const ProbePoint small = probe_point(/*hw=*/2, /*channels=*/64);
+
+  Calibration cal;
+  AlgoCalibration* entries[6] = {&cal.spatial,   &cal.im2col,
+                                 &cal.fft,       &cal.winograd2,
+                                 &cal.winograd3, &cal.winograd4};
+  for (int a = 0; a < 6; ++a) {
+    entries[a]->ops_big = big.ops[a];
+    entries[a]->gflops_big = big.gflops[a];
+    entries[a]->ops_small = small.ops[a];
+    entries[a]->gflops_small = small.gflops[a];
+  }
+  return cal;
+}
+
+bool degenerate(const AlgoCalibration& c) {
+  return !(c.gflops_small > 0) || !(c.gflops_big > 0) ||
+         !(c.ops_small > 0) || !(c.ops_big > c.ops_small);
+}
+
+}  // namespace
+
+double AlgoCalibration::gflops_at(double ops) const {
+  if (ops <= ops_small) return gflops_small;
+  if (ops >= ops_big) return gflops_big;
+  const double t = (std::log(ops) - std::log(ops_small)) /
+                   (std::log(ops_big) - std::log(ops_small));
+  return gflops_small + t * (gflops_big - gflops_small);
+}
+
+const AlgoCalibration& Calibration::entry(ConvAlgo algo) const {
+  switch (winograd_m(algo)) {
+    case 2:
+      return winograd2;
+    case 3:
+      return winograd3;
+    case 4:
+      return winograd4;
+    default:
+      break;
+  }
+  switch (algo) {
+    case ConvAlgo::kSpatial:
+      return spatial;
+    case ConvAlgo::kIm2col:
+      return im2col;
+    case ConvAlgo::kFft:
+      return fft;
+    default:
+      return spatial;
+  }
+}
+
+Calibration default_calibration() {
+  Calibration cal;
+  const auto flat = [](double gflops) {
+    AlgoCalibration c;
+    c.gflops_small = gflops;
+    c.gflops_big = gflops;
+    return c;
+  };
+  cal.spatial = flat(1.0);
+  cal.im2col = flat(8.0);
+  cal.fft = flat(1.0);
+  cal.winograd2 = flat(4.0);
+  cal.winograd3 = flat(4.0);
+  cal.winograd4 = flat(4.0);
+  return cal;
+}
+
+const Calibration& measured_calibration() {
+  static const Calibration cal = [] {
+    Calibration c = probe_calibration();
+    // A degenerate probe point (clock glitch returning a zero or negative
+    // rate) would make a candidate look free; fall back to the
+    // deterministic default for that family instead.
+    const Calibration fallback = default_calibration();
+    if (degenerate(c.spatial)) c.spatial = fallback.spatial;
+    if (degenerate(c.im2col)) c.im2col = fallback.im2col;
+    if (degenerate(c.fft)) c.fft = fallback.fft;
+    if (degenerate(c.winograd2)) c.winograd2 = fallback.winograd2;
+    if (degenerate(c.winograd3)) c.winograd3 = fallback.winograd3;
+    if (degenerate(c.winograd4)) c.winograd4 = fallback.winograd4;
+    return c;
+  }();
+  return cal;
+}
+
+double measure_layer_ms(const ConvLayerSpec& layer, ConvAlgo algo) {
+  return layer_time_cache().seconds(layer, algo) * 1e3;
+}
+
+double predict_layer_ms(const ConvLayerSpec& layer, ConvAlgo algo,
+                        const Calibration& cal, std::size_t batch) {
+  // The rate anchor is selected on per-image work (sub-batches walk the
+  // stack one cache-budgeted chunk at a time, so per-call work scales with
+  // the layer, not the whole batch); the charged time scales with batch.
+  const double per_image = modelled_ops(layer, algo, 1);
+  const double rate = cal.entry(algo).gflops_at(per_image);
+  return per_image * static_cast<double>(batch) / (rate * 1e9) * 1e3;
+}
+
+bool ExecutionPlan::uniform() const {
+  const LayerPlan* first = nullptr;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    if (layers[i].kind != LayerKind::kConv) continue;
+    if (first == nullptr) {
+      first = &steps[i];
+    } else if (steps[i].algo != first->algo) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ExecutionPlan::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const LayerPlan& s = steps[i];
+    out += "  [" + std::to_string(i) + "] ";
+    switch (layers[i].kind) {
+      case LayerKind::kConv:
+        out += "conv " + nn::to_string(s.algo) +
+               (s.fused_relu ? " +relu" : "") + " (" +
+               std::to_string(static_cast<long long>(s.predicted_ms * 1e3)) +
+               "us)";
+        break;
+      case LayerKind::kMaxPool:
+        out += "maxpool2x2";
+        break;
+      case LayerKind::kFullyConnected:
+        out += "fc";
+        break;
+    }
+    out += " -> " + tensor::to_string(s.output_kind);
+    if (s.output_kind == LayoutKind::kWinogradTile) {
+      out += "(m=" + std::to_string(s.out_tile_m) + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+/// The shared layout pass: pick each boundary's handoff form from the
+/// per-layer algorithm decisions and fill the summary counters. Winograd
+/// convs emit their own m's tiles whenever the consumer gathers tile form
+/// (another conv under a Winograd algo — any m, the gather handles
+/// mismatched edges without a repack — or a maxpool); pools emit tiles
+/// sized for the next Winograd conv; FC / non-Winograd conv / the final
+/// output force NCHW.
+void replan_layouts(ExecutionPlan& plan) {
+  const auto& layers = plan.layers;
+  plan.boundaries = layers.empty() ? 0 : layers.size() - 1;
+  plan.nchw_boundaries = 0;
+  plan.mixed_m_handoffs = 0;
+  const auto wino_conv = [&](std::size_t i) {
+    return layers[i].kind == LayerKind::kConv &&
+           winograd_m(plan.steps[i].algo) > 0;
+  };
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    LayerPlan& step = plan.steps[i];
+    step.output_kind = LayoutKind::kNCHW;
+    step.out_tile_m = 0;
+    step.fused_relu = wino_conv(i);
+    if (i + 1 >= layers.size()) continue;  // final output is NCHW
+    const bool consumer_conv = wino_conv(i + 1);
+    const bool consumer_pool = layers[i + 1].kind == LayerKind::kMaxPool;
+    if (wino_conv(i) && (consumer_conv || consumer_pool)) {
+      // Conv scatters its own m's tiles; the consumer gathers any edge.
+      step.output_kind = LayoutKind::kWinogradTile;
+      step.out_tile_m =
+          static_cast<std::size_t>(winograd_m(step.algo));
+      if (consumer_conv &&
+          step.out_tile_m !=
+              static_cast<std::size_t>(winograd_m(plan.steps[i + 1].algo))) {
+        ++plan.mixed_m_handoffs;
+      }
+    } else if (layers[i].kind == LayerKind::kMaxPool && consumer_conv) {
+      // The tiled maxpool writes tiles sized for its consumer.
+      step.output_kind = LayoutKind::kWinogradTile;
+      step.out_tile_m =
+          static_cast<std::size_t>(winograd_m(plan.steps[i + 1].algo));
+    }
+  }
+  for (std::size_t i = 0; i + 1 < layers.size(); ++i) {
+    if (plan.steps[i].output_kind == LayoutKind::kNCHW) {
+      ++plan.nchw_boundaries;
+    }
+  }
+}
+
+ExecutionPlan plan_execution(const std::vector<LayerSpec>& layers,
+                             const PlannerOptions& options) {
+  if (options.candidates.empty()) {
+    throw std::invalid_argument("plan_execution: no candidate algorithms");
+  }
+  ExecutionPlan plan;
+  plan.layers = layers;
+  plan.steps.assign(layers.size(), LayerPlan{});
+  plan.predicted_total_ms = 0;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    if (layers[i].kind != LayerKind::kConv) continue;
+    LayerPlan& step = plan.steps[i];
+    double best = 0;
+    bool first = true;
+    for (const ConvAlgo algo : options.candidates) {
+      // Default scoring measures the candidate at this layer's exact
+      // geometry (cached per process); an injected calibration switches
+      // to the pure analytic model.
+      const double ms =
+          options.calibration
+              ? predict_layer_ms(layers[i].conv, algo, *options.calibration,
+                                 options.batch)
+              : measure_layer_ms(layers[i].conv, algo) *
+                    static_cast<double>(options.batch);
+      // Strict less-than: ties keep the earliest listed candidate, so the
+      // plan is deterministic for any scoring source (measurements are
+      // cached, so re-planning sees identical numbers).
+      if (first || ms < best) {
+        best = ms;
+        step.algo = algo;
+        first = false;
+      }
+    }
+    step.predicted_ms = best;
+    plan.predicted_total_ms += best;
+  }
+  replan_layouts(plan);
+  return plan;
+}
+
+ExecutionPlan uniform_plan(const std::vector<LayerSpec>& layers,
+                           ConvAlgo algo, LayoutPolicy policy) {
+  ExecutionPlan plan;
+  plan.layers = layers;
+  plan.steps.assign(layers.size(), LayerPlan{});
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    // Conv layers only: pool/FC steps keep the default (their algo field
+    // is never read), matching plan_execution's output shape exactly.
+    if (layers[i].kind == LayerKind::kConv) plan.steps[i].algo = algo;
+  }
+  if (policy == LayoutPolicy::kAuto) {
+    replan_layouts(plan);
+  } else {
+    plan.boundaries = layers.empty() ? 0 : layers.size() - 1;
+    plan.nchw_boundaries = plan.boundaries;
+  }
+  return plan;
+}
+
+Tensor4f forward_reference(const ExecutionPlan& plan,
+                           const WeightBank& weights, const Tensor4f& input) {
+  Tensor4f act = input;
+  std::size_t conv_idx = 0;
+  std::size_t fc_idx = 0;
+  for (std::size_t i = 0; i < plan.layers.size(); ++i) {
+    const auto& l = plan.layers[i];
+    switch (l.kind) {
+      case LayerKind::kConv: {
+        if (conv_idx >= weights.conv_kernels.size()) {
+          throw std::invalid_argument(
+              "forward_reference: missing conv weights");
+        }
+        act = run_conv(plan.steps[i].algo, act,
+                       weights.conv_kernels[conv_idx], l.conv.pad);
+        ++conv_idx;
+        relu_inplace(act);
+        break;
+      }
+      case LayerKind::kMaxPool:
+        act = maxpool2x2(act);
+        break;
+      case LayerKind::kFullyConnected: {
+        if (fc_idx >= weights.fc_weights.size()) {
+          throw std::invalid_argument(
+              "forward_reference: missing fc weights");
+        }
+        act = fully_connected(act, weights.fc_weights[fc_idx],
+                              weights.fc_bias[fc_idx], l.fc_out);
+        ++fc_idx;
+        if (fc_idx < weights.fc_weights.size()) relu_inplace(act);
+        break;
+      }
+    }
+  }
+  return act;
+}
+
+PackedActivation maxpool2x2_packed(const PackedActivation& input,
+                                   LayoutKind out_kind,
+                                   std::size_t out_tile_m) {
+  const Layout& il = input.layout;
+  if (il.kind != LayoutKind::kNCHW &&
+      il.kind != LayoutKind::kWinogradTile) {
+    throw std::invalid_argument(
+        "maxpool2x2_packed: input must be NCHW or Winograd-tile form");
+  }
+  if (out_kind != LayoutKind::kNCHW &&
+      out_kind != LayoutKind::kWinogradTile) {
+    throw std::invalid_argument(
+        "maxpool2x2_packed: output must be NCHW or Winograd-tile form");
+  }
+  if (input.data.size() != il.volume()) {
+    throw std::invalid_argument(
+        "maxpool2x2_packed: buffer size != layout volume");
+  }
+  const auto& s = il.shape;
+  if (s.h < 2 || s.w < 2) {
+    throw std::invalid_argument("maxpool2x2_packed: input too small");
+  }
+  const Shape4 os{s.n, s.c, s.h / 2, s.w / 2};
+  const Layout ol = out_kind == LayoutKind::kNCHW
+                        ? Layout::nchw(os)
+                        : Layout::winograd_tile(os, out_tile_m);
+  // Zero-initialised buffer keeps the tile layout's ragged-fill invariant;
+  // only in-map output pixels are written below.
+  PackedActivation out{ol, std::vector<float>(ol.volume())};
+
+  const bool in_tiled = il.kind == LayoutKind::kWinogradTile;
+  const bool out_tiled = out_kind == LayoutKind::kWinogradTile;
+  const std::size_t sm = in_tiled ? il.tile_m : 0;
+  const std::size_t sth = in_tiled ? il.tiles_h() : 0;
+  const std::size_t stw = in_tiled ? il.tiles_w() : 0;
+  const std::size_t dm = out_tiled ? ol.tile_m : 0;
+  const std::size_t dth = out_tiled ? ol.tiles_h() : 0;
+  const std::size_t dtw = out_tiled ? ol.tiles_w() : 0;
+
+  // Column maps, shared read-only across planes: input column x -> offset
+  // of (·, x) within a tile row block, output column ox likewise. Rows are
+  // resolved per y below, so the inner loop is indexed loads/stores with
+  // no division.
+  std::vector<std::size_t> in_col(in_tiled ? s.w : 0);
+  for (std::size_t x = 0; x < in_col.size(); ++x) {
+    in_col[x] = (x / sm) * sm * sm + x % sm;
+  }
+  std::vector<std::size_t> out_col(out_tiled ? os.w : 0);
+  for (std::size_t x = 0; x < out_col.size(); ++x) {
+    out_col[x] = (x / dm) * dm * dm + x % dm;
+  }
+
+  const float* src = input.data.data();
+  float* dst = out.data.data();
+  const std::size_t planes = s.n * s.c;
+  runtime::parallel_for(planes, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t plane = begin; plane < end; ++plane) {
+      const float* in_plane =
+          in_tiled ? src + plane * sth * stw * sm * sm
+                   : src + plane * s.h * s.w;
+      float* out_plane = out_tiled ? dst + plane * dth * dtw * dm * dm
+                                   : dst + plane * os.h * os.w;
+      for (std::size_t oy = 0; oy < os.h; ++oy) {
+        const std::size_t y = 2 * oy;
+        const float* row0 =
+            in_tiled ? in_plane + (y / sm) * stw * sm * sm + (y % sm) * sm
+                     : in_plane + y * s.w;
+        const float* row1 = in_tiled ? in_plane +
+                                           ((y + 1) / sm) * stw * sm * sm +
+                                           ((y + 1) % sm) * sm
+                                     : row0 + s.w;
+        float* orow = out_tiled ? out_plane + (oy / dm) * dtw * dm * dm +
+                                      (oy % dm) * dm
+                                : out_plane + oy * os.w;
+        for (std::size_t ox = 0; ox < os.w; ++ox) {
+          const std::size_t x = 2 * ox;
+          // Exactly maxpool2x2's maxes in maxpool2x2's order, so the
+          // result is bit-identical to pooling in NCHW (incl. NaN
+          // propagation, which depends on operand order).
+          float a;
+          float b;
+          float c;
+          float d;
+          if (in_tiled) {
+            a = row0[in_col[x]];
+            b = row0[in_col[x + 1]];
+            c = row1[in_col[x]];
+            d = row1[in_col[x + 1]];
+          } else {
+            a = row0[x];
+            b = row0[x + 1];
+            c = row1[x];
+            d = row1[x + 1];
+          }
+          const float m0 = std::max(a, b);
+          const float m1 = std::max(c, d);
+          if (out_tiled) {
+            orow[out_col[ox]] = std::max(m0, m1);
+          } else {
+            orow[ox] = std::max(m0, m1);
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace wino::nn

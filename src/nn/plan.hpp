@@ -1,0 +1,227 @@
+// Per-layer execution planning: the cost-model-driven replacement for the
+// single global ConvAlgo.
+//
+// The paper's central result is that the best Winograd F(m, r) trades
+// multiplication complexity (Eq 4) against transform complexity (Eq 5)
+// *per layer*: the balance shifts with each layer's H/W/C/K, so one m for
+// the whole network leaves performance behind. This header turns that
+// observation into the runtime's execution model. A planner scores every
+// candidate algorithm (spatial / im2col / FFT / Winograd m in {2, 3, 4})
+// for every conv layer with the dse:: complexity equations — evaluated
+// with exact ragged-tile counts, which is what makes the best m genuinely
+// layer-dependent on small late-network maps — calibrated against GFLOP/s
+// measured once per process by a microbenchmark probe. The result is an
+// ExecutionPlan: one decision record per layer {algo, output layout,
+// fused ReLU}, executed by the plan-driven nn::forward(ExecutionPlan)
+// overload (src/nn/forward.cpp).
+//
+// Layout handling generalises the PR 4 single-algo pass (plan_layouts) to
+// mixed m: a W4 layer hands tiles straight to a W2 layer — the consumer's
+// gather reads any producer tile edge, so no repack materialises (the
+// tensor::repack utility exists for consumers that do need re-blocking) —
+// and the tiled maxpool (maxpool2x2_packed) pools 2x2/s2 directly on tile
+// form, so conv -> pool -> conv chains never round-trip through NCHW.
+//
+// Determinism contract: forward(plan) is bit-identical to composing the
+// same per-layer algorithms through the always-NCHW reference path
+// (forward_reference), at every batch size and thread count — layouts are
+// pure permutations, the tiled maxpool takes the same maxes in the same
+// order, and fused ReLU is the same formula on the same values. Pinned by
+// tests/nn_plan_test.cpp.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/forward.hpp"
+#include "nn/network.hpp"
+#include "tensor/layout.hpp"
+#include "tensor/tensor.hpp"
+
+namespace wino::nn {
+
+/// One layer's execution decision.
+struct LayerPlan {
+  /// Convolution algorithm (kConv layers only; ignored for pool/FC).
+  ConvAlgo algo = ConvAlgo::kIm2col;
+  /// Layout this layer's output is handed to the next layer in.
+  tensor::LayoutKind output_kind = tensor::LayoutKind::kNCHW;
+  /// Tile edge of the output when output_kind == kWinogradTile: the conv's
+  /// own m for Winograd layers, the downstream conv's m for pools.
+  std::size_t out_tile_m = 0;
+  /// ReLU folded into the conv output scatter (Winograd layers).
+  bool fused_relu = false;
+  /// Cost-model estimate for this layer (conv layers; 0 otherwise).
+  double predicted_ms = 0;
+
+  friend bool operator==(const LayerPlan&, const LayerPlan&) = default;
+};
+
+/// A fully resolved execution recipe for one layer stack: the stack itself
+/// plus one LayerPlan per layer and summary counters. Built once (per
+/// model session in serving), executed by forward(plan, weights, input)
+/// any number of times.
+struct ExecutionPlan {
+  std::vector<LayerSpec> layers;
+  std::vector<LayerPlan> steps;  ///< same length as layers
+
+  std::size_t boundaries = 0;        ///< layer -> layer handoffs
+  std::size_t nchw_boundaries = 0;   ///< handoffs that materialise NCHW
+  std::size_t mixed_m_handoffs = 0;  ///< tiled handoffs with differing m
+  double predicted_total_ms = 0;     ///< sum of conv predicted_ms
+
+  /// True when every conv layer runs the same algorithm.
+  [[nodiscard]] bool uniform() const;
+
+  /// Human-readable per-layer dump for benches and debugging.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Measured delivered rate of one backend class at two probe scales. A
+/// backend's effective GFLOP/s (against the dse:: op counts — packing /
+/// lowering / transform overheads folded in) is strongly work-size
+/// dependent: the GEMM behind im2col runs near peak on a big feature map
+/// and collapses on a 2x2 one, Winograd tiles amortise differently, and a
+/// single rate per family makes the planner extrapolate tiny late-network
+/// layers from big-map behaviour. Two anchors — a compute-bound "big"
+/// probe and an overhead-bound "small" one — with log-work interpolation
+/// in between keep the prediction exact at both probe shapes and honest
+/// between them.
+struct AlgoCalibration {
+  double ops_small = 1e5;      ///< modelled ops of the small probe layer
+  double gflops_small = 1.0;   ///< delivered rate there
+  double ops_big = 5e6;        ///< modelled ops of the big probe layer
+  double gflops_big = 1.0;     ///< delivered rate there
+
+  /// Rate for a layer of `ops` modelled ops: log-linear between the two
+  /// anchors, clamped outside them.
+  [[nodiscard]] double gflops_at(double ops) const;
+};
+
+/// The measured half of the cost model: one AlgoCalibration per backend
+/// class. Winograd is calibrated per tile edge — the m's differ in
+/// measured efficiency (bigger tiles pay denser transform sandwiches per
+/// delivered op), so a shared rate would let the op-count model alone
+/// pick m and mispredict.
+struct Calibration {
+  AlgoCalibration spatial;
+  AlgoCalibration im2col;
+  AlgoCalibration fft;
+  AlgoCalibration winograd2;
+  AlgoCalibration winograd3;
+  AlgoCalibration winograd4;
+
+  /// The calibration entry for `algo` (winograd selected by its m).
+  [[nodiscard]] const AlgoCalibration& entry(ConvAlgo algo) const;
+};
+
+/// Deterministic fallback rates (also the documentation of the ratios the
+/// planner assumes when no probe has run): GEMM-backed im2col well above
+/// spatial, Winograd between them per delivered op, flat across work
+/// sizes (gflops_small == gflops_big).
+[[nodiscard]] Calibration default_calibration();
+
+/// Measure the calibration with a one-shot microbenchmark probe: each
+/// backend runs two small conv layers (a compute-bound big-map shape and
+/// an overhead-bound tiny-map shape) a few times and the best wall-clocks
+/// turn into the two delivered-GFLOP/s anchors. The probe runs once per
+/// process and the result is cached (so repeated planning — the serving
+/// registration path — is cheap and deterministic within a process).
+[[nodiscard]] const Calibration& measured_calibration();
+
+/// Planner knobs.
+struct PlannerOptions {
+  /// Candidate algorithms, tried in order; ties keep the earliest listed.
+  std::vector<ConvAlgo> candidates = {
+      ConvAlgo::kWinograd2, ConvAlgo::kWinograd3, ConvAlgo::kWinograd4,
+      ConvAlgo::kIm2col,    ConvAlgo::kFft,       ConvAlgo::kSpatial};
+  /// How candidates are scored. nullopt (the default): every candidate is
+  /// *measured* at each conv layer's own geometry by the microbenchmark
+  /// probe (measure_layer_ms — cached per process, so planning many
+  /// sessions over the same architecture re-measures nothing). With a
+  /// Calibration injected, scoring is the pure analytic model
+  /// (predict_layer_ms) — deterministic and timing-free, which is what
+  /// the cost-model unit tests pin.
+  std::optional<Calibration> calibration;
+  /// Batch size the plan is optimised for (scales every candidate alike
+  /// under this model, so it rarely changes the argmin; kept explicit for
+  /// cost reporting).
+  std::size_t batch = 1;
+};
+
+/// Cost model: predicted milliseconds for one conv layer under `algo`.
+/// Winograd candidates charge 2 * dse::mult_complexity_tiled plus the
+/// data + inverse transform ops of dse::transform_complexity_tiled (filter
+/// transforms come from the cross-call cache and are excluded); spatial /
+/// im2col charge the delivered spatial op count; FFT charges a padded
+/// pointwise + FFT op model. All divided by the calibrated rate of the
+/// backend's class.
+[[nodiscard]] double predict_layer_ms(const ConvLayerSpec& layer,
+                                      ConvAlgo algo, const Calibration& cal,
+                                      std::size_t batch = 1);
+
+/// Measured per-image milliseconds of one conv layer under `algo`, the
+/// planner's default scoring source: the backend runs the layer's exact
+/// geometry the way forward() executes it (Winograd with precomputed
+/// filter transforms through the layout-aware kernel; im2col/spatial/FFT
+/// through run_conv) and the best of a few reps is kept. Results are
+/// cached per process keyed by (H, W, C, K, r, pad, algo), so planning
+/// re-measures nothing for repeated shapes — VGG's towers of identical
+/// layers, or many sessions over the same architecture.
+[[nodiscard]] double measure_layer_ms(const ConvLayerSpec& layer,
+                                      ConvAlgo algo);
+
+/// Score every candidate for every conv layer and assemble the cheapest
+/// per-layer mix, then run the layout pass: Winograd convs emit tile form
+/// whenever the consumer (conv or maxpool) can gather it, pools consume
+/// tile form and emit tiles sized for the next Winograd conv, and every
+/// boundary into FC / non-Winograd conv / the final output is NCHW.
+/// Deterministic: same layers + same calibration -> same plan.
+[[nodiscard]] ExecutionPlan plan_execution(
+    const std::vector<LayerSpec>& layers, const PlannerOptions& options = {});
+
+/// Re-run the layout pass over a plan whose per-layer algorithms were
+/// edited (tests and tools build bespoke mixed plans this way): recomputes
+/// every output_kind / out_tile_m / fused_relu decision and the summary
+/// counters from the current algo assignments.
+void replan_layouts(ExecutionPlan& plan);
+
+/// The trivial plan the legacy forward(..., ConvAlgo, ...) overload wraps:
+/// every conv layer runs `algo`, with the same layout pass as
+/// plan_execution (under LayoutPolicy::kAlwaysNCHW every boundary is NCHW
+/// and nothing fuses — the legacy reference data flow).
+[[nodiscard]] ExecutionPlan uniform_plan(
+    const std::vector<LayerSpec>& layers, ConvAlgo algo,
+    LayoutPolicy policy = LayoutPolicy::kAuto);
+
+/// Execute a plan. Batches fan out image-parallel on the global
+/// ThreadPool in cache-budgeted sub-batches exactly like the uniform-algo
+/// forward (bit-identical for any thread count / chunking); Winograd
+/// layers read filter transforms from the cross-call cache, prewarmed per
+/// plan so worker chunks never serialise on a cold cache.
+tensor::Tensor4f forward(const ExecutionPlan& plan, const WeightBank& weights,
+                         const tensor::Tensor4f& input);
+
+/// The memcmp oracle for forward(plan): compose the same per-layer
+/// algorithms through the always-NCHW data flow (run_conv + separate ReLU
+/// pass + NCHW maxpool), one layer at a time. Slow; exists for tests and
+/// the bit-identity verdict in bench/ablation_per_layer_m.
+tensor::Tensor4f forward_reference(const ExecutionPlan& plan,
+                                   const WeightBank& weights,
+                                   const tensor::Tensor4f& input);
+
+/// 2x2 stride-2 max pooling on a packed activation: input may be NCHW or
+/// Winograd-tile form (any tile edge), and the output is produced directly
+/// in `out_kind` (kWinogradTile tiles have edge `out_tile_m` and keep the
+/// zero ragged fill). Takes exactly the maxes of maxpool2x2 in the same
+/// order, so the result is bit-identical to unpacking, pooling in NCHW and
+/// repacking — for every odd/even extent and ragged tile edge (pinned by
+/// tests/nn_plan_test.cpp). Plane-parallel on the global ThreadPool;
+/// bit-identical for any thread count.
+[[nodiscard]] tensor::PackedActivation maxpool2x2_packed(
+    const tensor::PackedActivation& input, tensor::LayoutKind out_kind,
+    std::size_t out_tile_m = 0);
+
+}  // namespace wino::nn

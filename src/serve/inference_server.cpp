@@ -43,14 +43,32 @@ InferenceServer::~InferenceServer() { shutdown(); }
 ModelId InferenceServer::add_model(std::string name,
                                    std::vector<nn::LayerSpec> layers,
                                    nn::WeightBank weights, nn::ConvAlgo algo) {
-  if (layers.empty()) {
+  return add_model(std::move(name), nn::uniform_plan(layers, algo),
+                   std::move(weights));
+}
+
+ModelId InferenceServer::add_model(std::string name, nn::ExecutionPlan plan,
+                                   nn::WeightBank weights) {
+  if (plan.layers.empty()) {
     throw std::invalid_argument("add_model: empty layer stack");
   }
+  if (plan.steps.size() != plan.layers.size()) {
+    throw std::invalid_argument(
+        "add_model: plan steps do not match its layer stack");
+  }
   auto model = std::make_shared<const Model>(
-      Model{std::move(name), std::move(layers), std::move(weights), algo});
+      Model{std::move(name), std::move(plan), std::move(weights)});
   std::lock_guard lock(models_mutex_);
   models_.push_back(std::move(model));
   return models_.size() - 1;
+}
+
+ModelId InferenceServer::add_model_planned(std::string name,
+                                           std::vector<nn::LayerSpec> layers,
+                                           nn::WeightBank weights,
+                                           const nn::PlannerOptions& options) {
+  return add_model(std::move(name), nn::plan_execution(layers, options),
+                   std::move(weights));
 }
 
 std::shared_ptr<const InferenceServer::Model> InferenceServer::find_model(
@@ -74,16 +92,16 @@ std::future<Tensor4f> InferenceServer::submit(ModelId model,
   // Validate the shape as far as the first layer determines it, so one
   // malformed request cannot poison the whole batch it gets coalesced
   // into (stack_images would throw on the worker, failing every future).
-  if (session->layers.front().kind == nn::LayerKind::kConv) {
-    const auto& conv = session->layers.front().conv;
+  const auto& layers = session->plan.layers;
+  if (layers.front().kind == nn::LayerKind::kConv) {
+    const auto& conv = layers.front().conv;
     if (shape.c != conv.c || shape.h != conv.h || shape.w != conv.w) {
       throw std::invalid_argument(
           "InferenceServer::submit: image shape does not match model '" +
           session->name + "' input");
     }
-  } else if (session->layers.front().kind ==
-             nn::LayerKind::kFullyConnected) {
-    if (shape.c * shape.h * shape.w != session->layers.front().fc_in) {
+  } else if (layers.front().kind == nn::LayerKind::kFullyConnected) {
+    if (shape.c * shape.h * shape.w != layers.front().fc_in) {
       throw std::invalid_argument(
           "InferenceServer::submit: image volume does not match model '" +
           session->name + "' fc input");
@@ -226,8 +244,7 @@ void InferenceServer::execute(Batch batch, bool is_retry) {
     images.reserve(count);
     for (const Request& r : batch.requests) images.push_back(&r.image);
     const Tensor4f input = nn::stack_images(images);
-    const Tensor4f output =
-        nn::forward(model->layers, model->weights, input, model->algo);
+    const Tensor4f output = nn::forward(model->plan, model->weights, input);
     std::vector<Tensor4f> outputs = nn::unstack_images(output);
 
     const auto now = Clock::now();
@@ -309,7 +326,11 @@ const nn::WeightBank& InferenceServer::model_weights(ModelId model) const {
 
 const std::vector<nn::LayerSpec>& InferenceServer::model_layers(
     ModelId model) const {
-  return find_model(model)->layers;
+  return find_model(model)->plan.layers;
+}
+
+const nn::ExecutionPlan& InferenceServer::model_plan(ModelId model) const {
+  return find_model(model)->plan;
 }
 
 }  // namespace wino::serve

@@ -27,6 +27,7 @@
 
 #include "nn/forward.hpp"
 #include "nn/network.hpp"
+#include "nn/plan.hpp"
 #include "runtime/bounded_queue.hpp"
 #include "serve/stats.hpp"
 #include "tensor/tensor.hpp"
@@ -111,6 +112,9 @@ class InferenceServer {
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Register a model session. Thread-safe; may be called while serving.
+  /// The session's ExecutionPlan is built once here — the trivial uniform
+  /// plan for `algo` — and reused by every batch the session ever
+  /// executes.
   /// \param name    label used in errors and stats output.
   /// \param layers  layer stack executed per request.
   /// \param weights weights for the stack; the WeightBank's version keys
@@ -122,6 +126,21 @@ class InferenceServer {
   ModelId add_model(std::string name, std::vector<nn::LayerSpec> layers,
                     nn::WeightBank weights,
                     nn::ConvAlgo algo = nn::ConvAlgo::kWinograd2);
+
+  /// Register a model session under a caller-supplied execution plan —
+  /// typically nn::plan_execution's cost-model-driven per-layer mix. The
+  /// plan carries its own copy of the layer stack; every batch dispatched
+  /// to this session runs the plan-driven forward.
+  ModelId add_model(std::string name, nn::ExecutionPlan plan,
+                    nn::WeightBank weights);
+
+  /// Register a planned session: score the stack with the cost model
+  /// (nn::plan_execution, one-shot calibration probe cached per process)
+  /// and serve the resulting per-layer mix.
+  ModelId add_model_planned(std::string name,
+                            std::vector<nn::LayerSpec> layers,
+                            nn::WeightBank weights,
+                            const nn::PlannerOptions& options = {});
 
   /// Submit one image for inference.
   /// \param model handle from add_model().
@@ -159,14 +178,18 @@ class InferenceServer {
   [[nodiscard]] const std::vector<nn::LayerSpec>& model_layers(
       ModelId model) const;
 
+  /// The execution plan the session runs every batch with.
+  [[nodiscard]] const nn::ExecutionPlan& model_plan(ModelId model) const;
+
  private:
   using Clock = std::chrono::steady_clock;
 
   struct Model {
     std::string name;
-    std::vector<nn::LayerSpec> layers;
+    /// Built at registration, reused by every batch: the layer stack
+    /// lives inside the plan (plan.layers).
+    nn::ExecutionPlan plan;
     nn::WeightBank weights;
-    nn::ConvAlgo algo;
   };
 
   struct Request {

@@ -266,6 +266,52 @@ Tensor4f unpack(const PackedActivation& packed) {
   throw std::invalid_argument("unpack: unknown layout kind");
 }
 
+PackedActivation repack(const PackedActivation& src, const Layout& target) {
+  if (!(src.layout.shape == target.shape)) {
+    throw std::invalid_argument("repack: layouts disagree on logical shape");
+  }
+  if (src.data.size() != src.layout.volume()) {
+    throw std::invalid_argument("repack: buffer size != layout volume");
+  }
+  if (src.layout == target) return src;
+  if (src.layout.kind != LayoutKind::kWinogradTile ||
+      target.kind != LayoutKind::kWinogradTile) {
+    return pack(unpack(src), target);
+  }
+  // Direct tile -> tile re-blocking: walk the destination in layout order
+  // and resolve each in-map element to its source tile; ragged positions
+  // keep the layout's zero-fill invariant.
+  const Layout& sl = src.layout;
+  const auto& s = target.shape;
+  const std::size_t sm = sl.tile_m;
+  const std::size_t stw = sl.tiles_w();
+  const std::size_t dm = target.tile_m;
+  const std::size_t dth = target.tiles_h();
+  const std::size_t dtw = target.tiles_w();
+  PackedActivation out{target, std::vector<float>(target.volume())};
+  std::size_t di = 0;
+  for (std::size_t n = 0; n < s.n; ++n) {
+    for (std::size_t c = 0; c < s.c; ++c) {
+      const std::size_t chan = (n * s.c + c) * sl.tiles_h();
+      for (std::size_t th = 0; th < dth; ++th) {
+        for (std::size_t tw = 0; tw < dtw; ++tw) {
+          for (std::size_t i = 0; i < dm; ++i) {
+            const std::size_t y = th * dm + i;
+            for (std::size_t j = 0; j < dm; ++j, ++di) {
+              const std::size_t x = tw * dm + j;
+              if (y >= s.h || x >= s.w) continue;  // stays zero
+              out.data[di] =
+                  src.data[((chan + y / sm) * stw + x / sm) * sm * sm +
+                           (y % sm) * sm + x % sm];
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
 bool im2col_covers_input(const Layout& layout) {
   if (layout.kind != LayoutKind::kIm2colPanel) {
     throw std::invalid_argument("im2col_covers_input: not an im2col layout");

@@ -108,6 +108,19 @@ struct PackedActivation {
 /// possible with stride > 1 — come back as zero.
 [[nodiscard]] Tensor4f unpack(const PackedActivation& packed);
 
+/// Convert a packed activation directly into another layout over the same
+/// logical shape. kWinogradTile -> kWinogradTile (e.g. a W4 producer's
+/// m = 4 tiles re-blocked to a consumer's m = 2 edge) runs as a single
+/// direct permutation without materialising the NCHW intermediate; every
+/// other pair routes through unpack -> pack. Value-preserving for every
+/// pair whose unpack is exact (see unpack()), so tile(m_a) -> tile(m_b) ->
+/// tile(m_a) round-trips bit-for-bit including the zero ragged fill
+/// (pinned by tests/nn_plan_test.cpp). Note the mixed-m *executor* usually
+/// doesn't need this: conv2d_winograd_layout and the tiled maxpool gather
+/// from any producer tile edge directly.
+[[nodiscard]] PackedActivation repack(const PackedActivation& src,
+                                      const Layout& target);
+
 /// True when every input pixel of `layout.shape` appears in at least one
 /// im2col patch, i.e. pack -> unpack through kIm2colPanel is the identity.
 /// Always true for stride 1; with stride s > 1 the trailing edge can fall

@@ -135,6 +135,60 @@ TEST(OverheadRatio, ReproducesSection4CNumbers) {
               1e-3);
 }
 
+TEST(TiledComplexity, MatchesContinuousModelOnDivisibleExtents) {
+  // When m divides the output extents the exact-tile count equals the
+  // paper's continuous H*W/m^2 model; on ragged extents the edge tiles
+  // are charged in full, so the tiled count is strictly larger. This gap
+  // is what makes the best m layer-dependent for the execution planner.
+  nn::ConvLayerSpec layer;
+  layer.h = 16;
+  layer.w = 16;
+  layer.c = 8;
+  layer.k = 8;
+  layer.r = 3;
+  layer.pad = 1;
+  for (const int m : {1, 2, 4}) {
+    EXPECT_EQ(mult_complexity_tiled(layer, m), mult_complexity(layer, m))
+        << "m=" << m;
+  }
+  layer.h = layer.w = 7;  // ragged for every m > 1
+  for (const int m : {2, 3, 4}) {
+    EXPECT_GT(mult_complexity_tiled(layer, m), mult_complexity(layer, m))
+        << "m=" << m;
+  }
+  // Exact count for one hand-checked case: 7x7 output under F(4x4) is
+  // 2x2 tiles of 6^2 multiplies per (c, k) pair.
+  EXPECT_EQ(mult_complexity_tiled(layer, 4),
+            4u * 36u * layer.c * layer.k);
+  EXPECT_EQ(mult_complexity_tiled(layer, 2, /*batch=*/3),
+            3u * mult_complexity_tiled(layer, 2));
+  EXPECT_THROW(mult_complexity_tiled(layer, 0), std::invalid_argument);
+}
+
+TEST(TiledComplexity, TransformCountsScaleWithExactTiles) {
+  nn::ConvLayerSpec layer;
+  layer.h = 7;
+  layer.w = 7;
+  layer.c = 4;
+  layer.k = 16;
+  layer.r = 3;
+  layer.pad = 1;
+  const auto costs = TransformCosts::from_generated(4, 3);
+  const auto t = transform_complexity_tiled(layer, 4, costs);
+  const double tiles = 4.0;  // ceil(7/4)^2
+  EXPECT_DOUBLE_EQ(t.data, tiles * static_cast<double>(costs.beta * layer.c));
+  EXPECT_DOUBLE_EQ(t.inverse,
+                   tiles * static_cast<double>(costs.delta * layer.k));
+  EXPECT_DOUBLE_EQ(t.filter,
+                   static_cast<double>(costs.gamma * layer.c * layer.k));
+  // Data + inverse scale with batch; the filter transform does not (it is
+  // precomputed once per weight bank).
+  const auto t2 = transform_complexity_tiled(layer, 4, costs, 2);
+  EXPECT_DOUBLE_EQ(t2.data, 2 * t.data);
+  EXPECT_DOUBLE_EQ(t2.inverse, 2 * t.inverse);
+  EXPECT_DOUBLE_EQ(t2.filter, t.filter);
+}
+
 TEST(OverheadRatio, SharedAlwaysCheaper) {
   for (int m = 2; m <= 6; ++m) {
     const auto costs = TransformCosts::from_generated(m, 3);
