@@ -50,6 +50,25 @@ double median(std::vector<double> samples) {
   return *mid;
 }
 
+/// Resident-set size from /proc/self/status (Linux; -1 elsewhere): the
+/// measured, machine-dependent companion to the memory plan's
+/// deterministic peak_bytes — reported for context, not gated.
+long long vm_rss_bytes() {
+#if defined(__linux__)
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  long long kb = -1;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %lld kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb < 0 ? -1 : kb * 1024;
+#else
+  return -1;
+#endif
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -142,8 +161,11 @@ int main(int argc, char** argv) {
     mode_names.push_back(wino::nn::to_string(algo));
   }
 
-  // Warm every mode once (filter transforms land in the cross-call cache;
-  // neither side pays them in the timed reps).
+  // Warm every mode once (filter transforms land in the cross-call cache,
+  // per-thread workspace slabs reach their high-water mark; neither side
+  // pays them in the timed reps). RSS bracketing the warmup + timed reps
+  // measures what the arena actually costs the process.
+  const long long rss_before = vm_rss_bytes();
   for (const auto& m : modes) {
     (void)wino::nn::forward(m, weights, input);
   }
@@ -207,6 +229,22 @@ int main(int argc, char** argv) {
                  wino::common::TextTable::num(uniform_speedup[mode])});
   }
   results.print();
+
+  // Planned per-worker memory: deterministic plan geometry (gated via the
+  // uniform-W4 plan, whose peak is independent of the measured planner's
+  // per-machine algorithm picks), plus the live RSS delta for context.
+  const long long rss_delta =
+      rss_before < 0 ? -1 : std::max(0LL, vm_rss_bytes() - rss_before);
+  const std::size_t planned_peak =
+      plan.memory.empty() ? 0 : plan.memory.peak_bytes(1);
+  const std::size_t w4_peak =
+      wino::nn::uniform_plan(layers, wino::nn::ConvAlgo::kWinograd4)
+          .memory.peak_bytes(1);
+  std::printf("\nplanned slab peak: %.1f KiB/image (uniform w4: %.1f KiB); "
+              "measured RSS delta over warmup+reps: %.1f KiB\n",
+              static_cast<double>(planned_peak) / 1024.0,
+              static_cast<double>(w4_peak) / 1024.0,
+              static_cast<double>(rss_delta) / 1024.0);
 
   std::printf("\nplanned vs best uniform (%s): %.3fx (%s); planned vs "
               "reference composition: %s\n",
@@ -274,7 +312,12 @@ int main(int argc, char** argv) {
                  mode + 1 < modes.size() ? "," : "");
   }
   std::fprintf(json,
-               "  ],\n  \"best_uniform_algo\": \"%s\",\n"
+               "  ],\n  \"memory\": {\"planned_peak_bytes_per_image\": %zu,\n"
+               "    \"uniform_w4_peak_bytes_per_image\": %zu,\n"
+               "    \"measured_rss_delta_bytes\": %lld},\n",
+               planned_peak, w4_peak, rss_delta);
+  std::fprintf(json,
+               "  \"best_uniform_algo\": \"%s\",\n"
                "  \"speedup_planned_vs_uniform\": %.4f,\n"
                "  \"bit_identical\": %s\n}\n",
                best_uniform.c_str(), best_speedup,

@@ -40,6 +40,9 @@ Check kinds:
                min_by.path (e.g. per compiled micro-kernel). An unknown
                selector value warns and skips instead of failing, so
                exotic build configs don't break CI.
+  max          value <= max * (1 + allowed_regression): a ceiling for
+               costs (e.g. the memory planner's peak slab bytes) where
+               growth, not shrinkage, is the regression.
 
 Exit status: 0 all checks pass, 1 any check fails, 2 usage/schema error.
 """
@@ -89,6 +92,14 @@ def run_check(bench, check):
         return ok, False, (f"{'OK' if ok else 'FAIL'}: {name}: "
                            f"{check['path']} = {got} (expected {want})")
 
+    if "max" in check:
+        base = check["max"]
+        ceiling = base * (1.0 + check.get("allowed_regression", 0.0))
+        ok = got <= ceiling
+        return ok, False, (f"{'OK' if ok else 'FAIL'}: {name}: "
+                           f"{check['path']} = {got:.2f} "
+                           f"(baseline {base:.2f}, ceiling {ceiling:.2f})")
+
     if "min_by" in check:
         selector = check["min_by"]
         try:
@@ -103,7 +114,7 @@ def run_check(bench, check):
         base = check["min"]
     else:
         return False, False, (f"FAIL: {name}: baseline check has no "
-                              "expect_true/min/min_by")
+                              "expect_true/min/min_by/max")
 
     floor = base * (1.0 - check.get("allowed_regression", 0.0))
     ok = got >= floor

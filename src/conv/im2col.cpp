@@ -28,6 +28,13 @@ void im2col(const Tensor4f& input, std::size_t image, std::size_t r, int pad,
 
 void im2col(const Tensor4f& input, std::size_t image, std::size_t r,
             int pad_h, int pad_w, int stride, std::span<float> out_patches) {
+  im2col(tensor::Tensor4fView(input.shape(), input.flat()), image, r, pad_h,
+         pad_w, stride, out_patches);
+}
+
+void im2col(const tensor::Tensor4fView& input, std::size_t image,
+            std::size_t r, int pad_h, int pad_w, int stride,
+            std::span<float> out_patches) {
   const auto& is = input.shape();
   const std::size_t out_h = conv_out_extent(is.h, r, pad_h, stride);
   const std::size_t out_w = conv_out_extent(is.w, r, pad_w, stride);

@@ -28,6 +28,13 @@ void im2col(const tensor::Tensor4f& input, std::size_t image, std::size_t r,
 void im2col(const tensor::Tensor4f& input, std::size_t image, std::size_t r,
             int pad_h, int pad_w, int stride, std::span<float> out_patches);
 
+/// As above over a non-owning NCHW view — the core implementation; the
+/// Tensor4f overloads delegate here. Lets the workspace executor lower
+/// slab-backed activations without materialising an owning tensor.
+void im2col(const tensor::Tensor4fView& input, std::size_t image,
+            std::size_t r, int pad_h, int pad_w, int stride,
+            std::span<float> out_patches);
+
 /// Convolution via im2col lowering; numerically equivalent to
 /// conv2d_spatial up to float accumulation order.
 tensor::Tensor4f conv2d_im2col(const tensor::Tensor4f& input,

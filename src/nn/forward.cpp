@@ -266,15 +266,6 @@ WeightBank random_weights(const std::vector<LayerSpec>& layers,
 
 namespace {
 
-/// Move a packed activation into plain NCHW: a buffer move when it is
-/// already NCHW, a conversion kernel otherwise.
-Tensor4f take_nchw(tensor::PackedActivation&& act) {
-  if (act.layout.kind == tensor::LayoutKind::kNCHW) {
-    return Tensor4f(act.layout.shape, std::move(act.data));
-  }
-  return tensor::unpack(act);
-}
-
 /// Legacy data flow (LayoutPolicy::kAlwaysNCHW): every layer boundary
 /// materialises the NCHW tensor and ReLU runs as a separate pass. Kept
 /// verbatim as the reference the layout-planned path is pinned
@@ -325,91 +316,152 @@ Tensor4f forward_sequential_nchw(const std::vector<LayerSpec>& layers,
   return act;
 }
 
-/// Plan-driven data flow: one walk of the layer stack with each layer's
-/// algorithm, handoff layout and ReLU fusion taken from its LayerPlan.
-/// Winograd conv layers scatter straight into the planned output layout
-/// (tile form for tiled handoffs — the consumer's gather accepts any
+/// The calling thread's execution arena. Pool worker threads and serve
+/// worker threads each get their own; slabs grow monotonically and live
+/// for the thread's lifetime, so the steady state allocates nothing.
+Workspace& thread_workspace() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+/// Materialise the current activation as an owning NCHW tensor — the
+/// bridge into the allocating fallback kernels (spatial/FFT convs, and
+/// defensively any layout the planned kernels do not cover).
+Tensor4f materialize_nchw(const tensor::Layout& cur_layout,
+                          std::span<const float> cur) {
+  if (cur_layout.kind == tensor::LayoutKind::kNCHW) {
+    Tensor4f t(cur_layout.shape);
+    std::copy(cur.begin(), cur.end(), t.flat().begin());
+    return t;
+  }
+  tensor::PackedActivation packed{
+      cur_layout, std::vector<float>(cur.begin(), cur.end())};
+  return tensor::unpack(packed);
+}
+
+/// Store an owning NCHW tensor into the planned output buffer, packing
+/// first when the plan wants tile form (defensive: the layout pass only
+/// plans NCHW outputs for fallback layers).
+void store_activation(const Tensor4f& t, const tensor::Layout& ol,
+                      std::span<float> obuf) {
+  if (!(t.shape() == ol.shape)) {
+    throw std::invalid_argument("forward: plan layer geometry mismatch");
+  }
+  if (ol.kind == tensor::LayoutKind::kNCHW) {
+    const auto src = t.flat();
+    std::copy(src.begin(), src.end(), obuf.begin());
+    return;
+  }
+  const tensor::PackedActivation packed = tensor::pack(t, ol);
+  std::copy(packed.data.begin(), packed.data.end(), obuf.begin());
+}
+
+/// Plan-driven data flow over one contiguous sub-batch, executing against
+/// a prepared per-thread Workspace: each layer's algorithm, handoff layout
+/// and ReLU fusion come from its LayerPlan, activations and scratch live
+/// at the MemoryPlan's slab offsets, and the final layer writes the
+/// caller's output span directly. Winograd conv layers scatter straight
+/// into the planned output layout (the consumer's gather accepts any
 /// producer tile edge, so mixed-m boundaries need no repack); the tiled
-/// maxpool pools directly on whatever form arrives; im2col layers consume
-/// an explicitly packed patch panel; every other consumer receives NCHW.
-/// Bit-identical to forward_reference (the per-layer always-NCHW
-/// composition): conversions are value-preserving permutations and all
-/// arithmetic runs in the same order on the same values (pinned by
-/// tests/nn_forward_test.cpp and tests/nn_plan_test.cpp).
-Tensor4f forward_plan_sequential(const ExecutionPlan& plan,
-                                 const WeightBank& weights,
-                                 const Tensor4f& input) {
+/// maxpool pools directly on whatever form arrives; im2col layers lower
+/// into a slab-carved panel and GEMM straight into the output activation;
+/// spatial/FFT convs keep their allocating kernels behind a materialise/
+/// store bridge. Bit-identical to forward_reference (the per-layer
+/// always-NCHW composition): conversions are value-preserving
+/// permutations and all arithmetic runs in the same order on the same
+/// values (pinned by tests/nn_forward_test.cpp and tests/nn_plan_test.cpp).
+void forward_plan_ws(const ExecutionPlan& plan, const MemoryPlan& mp,
+                     const WeightBank& weights, std::size_t images,
+                     std::span<const float> in, std::span<float> out,
+                     Workspace& ws) {
+  using tensor::Layout;
+  using tensor::LayoutKind;
   const std::vector<LayerSpec>& layers = plan.layers;
-  tensor::PackedActivation act =
-      tensor::PackedActivation::from_nchw(Tensor4f(input));
+  const std::size_t last = layers.size() - 1;
+  std::span<const float> cur = in;
+  Layout cur_layout = Layout::nchw(
+      {images, mp.input_shape.c, mp.input_shape.h, mp.input_shape.w});
   std::size_t conv_idx = 0;
   std::size_t fc_idx = 0;
   for (std::size_t li = 0; li < layers.size(); ++li) {
     const auto& l = layers[li];
     const LayerPlan& step = plan.steps[li];
+    Layout ol = mp.act_layout[li];
+    ol.shape.n = images;  // every layout's volume scales linearly in n
+    const std::span<float> obuf =
+        li == last ? out
+                   : ws.span_of<float>(
+                         static_cast<std::size_t>(mp.step_activation[li]),
+                         ol.volume());
     switch (l.kind) {
       case LayerKind::kConv: {
         if (conv_idx >= weights.conv_kernels.size()) {
           throw std::invalid_argument("forward: missing conv weights");
         }
         const Tensor4f& kern = weights.conv_kernels[conv_idx];
-        if (const int m = winograd_m(step.algo); m > 0) {
+        const int m = winograd_m(step.algo);
+        if (m > 0) {
           const auto entry = transform_cache().get(
               {weights.version, conv_idx, m, kern.shape().h}, kern);
           winograd::WinogradConvOptions wopt;
           wopt.pad = l.conv.pad;
-          act = winograd::conv2d_winograd_layout(
-              act, entry->tk, entry->xf, wopt, step.output_kind,
-              step.fused_relu);
+          ByteCarver carver(ws.buffer_bytes(
+              static_cast<std::size_t>(mp.step_scratch[li])));
+          const winograd::WinogradScratch scratch = carve_winograd_scratch(
+              carver, cur_layout.shape.c,
+              static_cast<std::size_t>(entry->xf.tile()),
+              static_cast<std::size_t>(m));
+          winograd::conv2d_winograd_layout_into(cur_layout, cur, entry->tk,
+                                                entry->xf, wopt, ol, obuf,
+                                                step.fused_relu, scratch);
           if (!step.fused_relu) {
             // Same values as relu_inplace on the NCHW tensor: the packed
             // buffer is a permutation (plus zero ragged fill, fixed by
             // max(0, .)).
-            for (float& v : act.data) v = v > 0.0F ? v : 0.0F;
+            for (float& v : obuf) v = v > 0.0F ? v : 0.0F;
           }
-        } else if (step.algo == ConvAlgo::kIm2col) {
-          // The panel is the backend's preferred input form. Pack and
-          // consume it one image at a time — a single panel buffer alive
-          // per walk, like the pre-layout path's reused scratch — rather
-          // than materialising the whole sub-batch's panels at once
-          // (O(batch) peak memory for zero elision payoff: nothing
-          // upstream produces panels, so the pack is per-boundary work
-          // either way).
-          const Tensor4f in = take_nchw(std::move(act));
-          const auto& shp = in.shape();
+        } else if (step.algo == ConvAlgo::kIm2col &&
+                   cur_layout.kind == LayoutKind::kNCHW &&
+                   ol.kind == LayoutKind::kNCHW) {
+          // Lower one image at a time into the slab-carved panel — one
+          // panel alive per walk, sized once per layer — and GEMM each
+          // image's rows directly into its output slice: the legacy
+          // scatter out(img, k, i / out_w, i % out_w) = result[k * cols
+          // + i] is the identity copy on flat NCHW storage, so writing C
+          // in place is the same values at the same offsets (sgemm with
+          // beta = 0 never reads C, making dirty slab memory safe).
+          const auto& shp = cur_layout.shape;
           const conv::SpatialConvOptions sopt{.pad = l.conv.pad,
                                               .stride = 1};
           const std::size_t r = kern.shape().h;
-          tensor::PackedActivation panel{
-              tensor::Layout::im2col_panel({1, shp.c, shp.h, shp.w}, r,
-                                           sopt.eff_pad_h(),
-                                           sopt.eff_pad_w(), sopt.stride),
-              {}};
-          panel.data.resize(panel.layout.volume());
-          Tensor4f out;
-          for (std::size_t img = 0; img < shp.n; ++img) {
+          const Layout panel_layout = Layout::im2col_panel(
+              {1, shp.c, shp.h, shp.w}, r, sopt.eff_pad_h(),
+              sopt.eff_pad_w(), sopt.stride);
+          ByteCarver carver(ws.buffer_bytes(
+              static_cast<std::size_t>(mp.step_scratch[li])));
+          const std::span<float> panel =
+              carver.take<float>(panel_layout.volume());
+          const tensor::Tensor4fView view(shp, cur);
+          const std::size_t kcount = kern.shape().n;
+          const std::size_t inner = shp.c * r * r;
+          const std::size_t cols =
+              panel_layout.panel_out_h() * panel_layout.panel_out_w();
+          for (std::size_t img = 0; img < images; ++img) {
             // conv::im2col and tensor::pack share one lowering kernel
             // (tensor::im2col_lower_row), so this per-image fill is the
             // panel pack, minus the per-image input slicing.
-            conv::im2col(in, img, r, sopt.eff_pad_h(), sopt.eff_pad_w(),
-                         sopt.stride, panel.data);
-            const Tensor4f one = conv::conv2d_im2col(panel, kern, sopt);
-            if (img == 0) {
-              out = Tensor4f(shp.n, one.shape().c, one.shape().h,
-                             one.shape().w);
-            }
-            const auto src = one.flat();
-            std::copy(src.begin(), src.end(),
-                      out.flat().begin() +
-                          static_cast<std::ptrdiff_t>(img * src.size()));
+            conv::im2col(view, img, r, sopt.eff_pad_h(), sopt.eff_pad_w(),
+                         sopt.stride, panel);
+            conv::gemm(kern.flat(), panel,
+                       obuf.subspan(img * kcount * cols, kcount * cols),
+                       kcount, inner, cols);
           }
-          relu_inplace(out);
-          act = tensor::PackedActivation::from_nchw(std::move(out));
+          for (float& v : obuf) v = v > 0.0F ? v : 0.0F;
         } else {
-          const Tensor4f in = take_nchw(std::move(act));
-          Tensor4f out = run_conv(step.algo, in, kern, l.conv.pad);
-          relu_inplace(out);
-          act = tensor::PackedActivation::from_nchw(std::move(out));
+          const Tensor4f in_t = materialize_nchw(cur_layout, cur);
+          Tensor4f out_t = run_conv(step.algo, in_t, kern, l.conv.pad);
+          relu_inplace(out_t);
+          store_activation(out_t, ol, obuf);
         }
         ++conv_idx;
         break;
@@ -418,24 +470,64 @@ Tensor4f forward_plan_sequential(const ExecutionPlan& plan,
         // The tiled maxpool reads NCHW or any tile edge and writes the
         // planned output form directly, so conv -> pool -> conv chains
         // stay in tile form end to end.
-        act = maxpool2x2_packed(act, step.output_kind, step.out_tile_m);
+        PoolScratch ps;
+        if (mp.step_scratch[li] >= 0) {
+          ByteCarver carver(ws.buffer_bytes(
+              static_cast<std::size_t>(mp.step_scratch[li])));
+          ps = carve_pool_scratch(carver, cur_layout, ol);
+        }
+        maxpool2x2_packed_into(cur_layout, cur, ol, obuf, ps.in_col,
+                               ps.out_col);
         break;
       }
       case LayerKind::kFullyConnected: {
         if (fc_idx >= weights.fc_weights.size()) {
           throw std::invalid_argument("forward: missing fc weights");
         }
-        const Tensor4f in = take_nchw(std::move(act));
-        Tensor4f out = fully_connected(in, weights.fc_weights[fc_idx],
-                                       weights.fc_bias[fc_idx], l.fc_out);
+        if (cur_layout.kind != LayoutKind::kNCHW) {
+          // Defensive: the layout pass always plans NCHW into FC.
+          const Tensor4f in_t = materialize_nchw(cur_layout, cur);
+          Tensor4f out_t =
+              fully_connected(in_t, weights.fc_weights[fc_idx],
+                              weights.fc_bias[fc_idx], l.fc_out);
+          ++fc_idx;
+          if (fc_idx < weights.fc_weights.size()) relu_inplace(out_t);
+          store_activation(out_t, ol, obuf);
+          break;
+        }
+        // fully_connected's loop verbatim, reading/writing flat spans.
+        const auto& s = cur_layout.shape;
+        const std::size_t in_features = s.c * s.h * s.w;
+        const std::vector<float>& wts = weights.fc_weights[fc_idx];
+        const std::vector<float>& bias = weights.fc_bias[fc_idx];
+        if (wts.size() != in_features * l.fc_out ||
+            bias.size() != l.fc_out) {
+          throw std::invalid_argument(
+              "fully_connected: weight size mismatch");
+        }
+        for (std::size_t n = 0; n < images; ++n) {
+          const std::span<const float> x =
+              cur.subspan(n * in_features, in_features);
+          float* orow = obuf.data() + n * l.fc_out;
+          for (std::size_t o = 0; o < l.fc_out; ++o) {
+            float acc = bias[o];
+            const float* wrow = &wts[o * in_features];
+            for (std::size_t i = 0; i < in_features; ++i) {
+              acc += wrow[i] * x[i];
+            }
+            orow[o] = acc;
+          }
+        }
         ++fc_idx;
-        if (fc_idx < weights.fc_weights.size()) relu_inplace(out);
-        act = tensor::PackedActivation::from_nchw(std::move(out));
+        if (fc_idx < weights.fc_weights.size()) {
+          for (float& v : obuf) v = v > 0.0F ? v : 0.0F;
+        }
         break;
       }
     }
+    cur = obuf;
+    cur_layout = ol;
   }
-  return take_nchw(std::move(act));
 }
 
 /// Populate the transform cache for every conv layer before the batch
@@ -529,44 +621,41 @@ std::size_t plan_subbatch(const ExecutionPlan& plan, std::size_t batch) {
   return std::max<std::size_t>(1, kSubbatchCacheBudget / worst_bytes);
 }
 
-/// Shared batch fan-out skeleton: split the batch into cache-budgeted
-/// contiguous sub-batches, run `leaf` on each image-parallel on the global
-/// ThreadPool, and stitch the chunk outputs back in order. Every layer
-/// treats images independently, so chunk composition never changes results
-/// (pinned by tests/serve_test.cpp).
-template <typename Leaf>
-Tensor4f batched_forward(const Tensor4f& input, std::size_t cap,
-                         const Leaf& leaf) {
-  const auto& is = input.shape();
-  const std::size_t image_volume = is.c * is.h * is.w;
-  std::vector<Tensor4f> per_chunk(is.n);
-  std::vector<std::size_t> chunk_first(is.n, 0);
-  runtime::parallel_for(is.n, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; i += cap) {
-      const std::size_t count = std::min(cap, end - i);
-      Tensor4f sub(count, is.c, is.h, is.w);
-      const auto src = input.flat().subspan(i * image_volume, sub.size());
-      std::copy(src.begin(), src.end(), sub.flat().begin());
-      per_chunk[i] = leaf(sub);
-      chunk_first[i] = 1;
+/// Output shape of the layer stack for an input shape — the legacy
+/// batched path preallocates the full batch output from this and workers
+/// write their chunks straight into it. Throws the kernels' own
+/// invalid_argument messages when the geometry is impossible, before any
+/// work fans out.
+tensor::Shape4 walk_output_shape(const std::vector<LayerSpec>& layers,
+                                 tensor::Shape4 s) {
+  for (const auto& l : layers) {
+    switch (l.kind) {
+      case LayerKind::kConv: {
+        const std::ptrdiff_t oh = static_cast<std::ptrdiff_t>(s.h) +
+                                  2 * l.conv.pad -
+                                  static_cast<std::ptrdiff_t>(l.conv.r) + 1;
+        const std::ptrdiff_t ow = static_cast<std::ptrdiff_t>(s.w) +
+                                  2 * l.conv.pad -
+                                  static_cast<std::ptrdiff_t>(l.conv.r) + 1;
+        if (oh <= 0 || ow <= 0) {
+          throw std::invalid_argument("forward: conv output would be empty");
+        }
+        s = {s.n, l.conv.k, static_cast<std::size_t>(oh),
+             static_cast<std::size_t>(ow)};
+        break;
+      }
+      case LayerKind::kMaxPool:
+        if (s.h < 2 || s.w < 2) {
+          throw std::invalid_argument("maxpool2x2: input too small");
+        }
+        s = {s.n, s.c, s.h / 2, s.w / 2};
+        break;
+      case LayerKind::kFullyConnected:
+        s = {s.n, l.fc_out, 1, 1};
+        break;
     }
-  });
-
-  // Chunk results are keyed by their first image index; stitch in order.
-  const Tensor4f* first = nullptr;
-  for (std::size_t i = 0; i < is.n && !first; ++i) {
-    if (chunk_first[i]) first = &per_chunk[i];
   }
-  const auto& os = first->shape();
-  Tensor4f out(is.n, os.c, os.h, os.w);
-  const std::size_t out_volume = os.c * os.h * os.w;
-  for (std::size_t i = 0; i < is.n; ++i) {
-    if (!chunk_first[i]) continue;
-    const auto src = per_chunk[i].flat();
-    auto dst = out.flat().subspan(i * out_volume, src.size());
-    std::copy(src.begin(), src.end(), dst.begin());
-  }
-  return out;
+  return s;
 }
 
 }  // namespace
@@ -605,26 +694,90 @@ LayoutPlan plan_layouts(const std::vector<LayerSpec>& layers,
   return plan;
 }
 
-Tensor4f forward(const ExecutionPlan& plan, const WeightBank& weights,
-                 const Tensor4f& input) {
+void forward(const ExecutionPlan& plan, const WeightBank& weights,
+             const Tensor4f& input, Tensor4f& out) {
   if (plan.steps.size() != plan.layers.size()) {
     throw std::invalid_argument(
         "forward: plan steps do not match its layer stack");
   }
+  const auto& is = input.shape();
+  if (plan.layers.empty()) {
+    out = input;
+    return;
+  }
+  // Use the plan's memory plan when it matches the live per-image input;
+  // rebuild locally otherwise (fc-first models accept any factorisation
+  // of fc_in, pool-first stacks have no plan-time shape at all).
+  MemoryPlan local;
+  const MemoryPlan* mp = &plan.memory;
+  const tensor::Shape4 per_img{1, is.c, is.h, is.w};
+  if (mp->empty() || !(mp->input_shape == per_img)) {
+    local = build_memory_plan(plan, per_img);
+    mp = &local;
+  }
+  const auto& fl = mp->act_layout.back();
+  const tensor::Shape4 os{is.n, fl.shape.c, fl.shape.h, fl.shape.w};
+  if (!(out.shape() == os)) out = Tensor4f(os);
+  if (is.n == 0) return;
   prewarm_transforms(plan, weights);
+  const std::span<const float> in_flat = input.flat();
+  const std::span<float> out_flat = out.flat();
   // Batch-parallel: every layer treats images independently, so running a
   // contiguous sub-batch through the stack alone reproduces the batched
   // result bit-for-bit. Winograd layers read their filter transforms from
   // the cross-call cache (prewarmed above), so chunks walk the batch in
   // cache-budgeted sub-batches (see plan_subbatch) — bit-identical either
   // way.
-  if (input.shape().n <= 1) {
-    return forward_plan_sequential(plan, weights, input);
+  if (is.n <= 1) {
+    Workspace& ws = thread_workspace();
+    ws.prepare(*mp, 1);
+    forward_plan_ws(plan, *mp, weights, 1, in_flat, out_flat, ws);
+    return;
   }
-  return batched_forward(input, plan_subbatch(plan, input.shape().n),
-                         [&](const Tensor4f& s) {
-                           return forward_plan_sequential(plan, weights, s);
-                         });
+  const std::size_t cap = plan_subbatch(plan, is.n);
+  const std::size_t ivol = is.c * is.h * is.w;
+  const std::size_t ovol = os.c * os.h * os.w;
+  runtime::parallel_for(is.n, [&](std::size_t begin, std::size_t end) {
+    Workspace& ws = thread_workspace();
+    for (std::size_t i = begin; i < end; i += cap) {
+      const std::size_t count = std::min(cap, end - i);
+      ws.prepare(*mp, count);
+      forward_plan_ws(plan, *mp, weights, count,
+                      in_flat.subspan(i * ivol, count * ivol),
+                      out_flat.subspan(i * ovol, count * ovol), ws);
+    }
+  });
+}
+
+Tensor4f forward(const ExecutionPlan& plan, const WeightBank& weights,
+                 const Tensor4f& input) {
+  Tensor4f out;
+  forward(plan, weights, input, out);
+  return out;
+}
+
+void prewarm_workspaces(const ExecutionPlan& plan, const WeightBank& weights,
+                        std::size_t max_images) {
+  if (plan.steps.size() != plan.layers.size()) {
+    throw std::invalid_argument(
+        "forward: plan steps do not match its layer stack");
+  }
+  prewarm_transforms(plan, weights);
+  if (plan.memory.empty()) return;
+  const std::size_t imgs = std::max<std::size_t>(1, max_images);
+  const std::size_t chunk = std::min(plan_subbatch(plan, imgs), imgs);
+  // One chunk per pool participant (count == threads), so every worker
+  // thread plus the caller sizes its own slab before the first request.
+  // Serve worker threads warm on their first batch instead; see
+  // docs/ARCHITECTURE.md.
+  runtime::parallel_for(runtime::ThreadPool::global().threads(),
+                        [&](std::size_t, std::size_t) {
+                          thread_workspace().prepare(plan.memory, chunk);
+                        });
+}
+
+std::size_t thread_workspace_bytes() {
+  return thread_workspace().slab_bytes();
 }
 
 Tensor4f forward(const std::vector<LayerSpec>& layers,
@@ -647,9 +800,33 @@ Tensor4f forward(const std::vector<LayerSpec>& layers,
   const int wino_m = winograd_m(algo);
   const std::size_t cap =
       wino_m > 0 ? cached_subbatch(layers, wino_m) : is.n;
-  return batched_forward(input, cap, [&](const Tensor4f& s) {
-    return forward_sequential_nchw(layers, weights, s, algo);
+  // Chunked fan-out into a preallocated batch output: each worker still
+  // copies its sub-batch into a local owning tensor (the legacy kernels
+  // take Tensor4f), but results land straight in the batch output instead
+  // of every chunk staying alive until a final stitch pass.
+  const tensor::Shape4 os = walk_output_shape(layers, is);
+  Tensor4f out(os);
+  const std::size_t ivol = is.c * is.h * is.w;
+  const std::size_t ovol = os.c * os.h * os.w;
+  const std::span<const float> in_flat = input.flat();
+  const std::span<float> out_flat = out.flat();
+  runtime::parallel_for(is.n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; i += cap) {
+      const std::size_t count = std::min(cap, end - i);
+      Tensor4f sub(count, is.c, is.h, is.w);
+      const auto src = in_flat.subspan(i * ivol, count * ivol);
+      std::copy(src.begin(), src.end(), sub.flat().begin());
+      const Tensor4f res =
+          forward_sequential_nchw(layers, weights, sub, algo);
+      if (res.size() != count * ovol) {
+        throw std::logic_error("forward: unexpected chunk output size");
+      }
+      const auto rsrc = res.flat();
+      std::copy(rsrc.begin(), rsrc.end(),
+                out_flat.begin() + static_cast<std::ptrdiff_t>(i * ovol));
+    }
   });
+  return out;
 }
 
 Tensor4f stack_images(const std::vector<const Tensor4f*>& images) {

@@ -373,6 +373,13 @@ void replan_layouts(ExecutionPlan& plan) {
       ++plan.nchw_boundaries;
     }
   }
+  plan.memory = MemoryPlan{};
+  try {
+    plan.memory = build_memory_plan(plan);
+  } catch (const std::exception&) {
+    // Input shape not derivable at plan time (pool-first stacks) or the
+    // walk rejects the geometry; forward() rebuilds from the live input.
+  }
 }
 
 ExecutionPlan plan_execution(const std::vector<LayerSpec>& layers,
@@ -430,6 +437,11 @@ ExecutionPlan uniform_plan(const std::vector<LayerSpec>& layers,
   } else {
     plan.boundaries = layers.empty() ? 0 : layers.size() - 1;
     plan.nchw_boundaries = plan.boundaries;
+    try {
+      plan.memory = build_memory_plan(plan);
+    } catch (const std::exception&) {
+      // Same fallback as replan_layouts: forward() rebuilds as needed.
+    }
   }
   return plan;
 }
@@ -498,9 +510,47 @@ PackedActivation maxpool2x2_packed(const PackedActivation& input,
   const Layout ol = out_kind == LayoutKind::kNCHW
                         ? Layout::nchw(os)
                         : Layout::winograd_tile(os, out_tile_m);
-  // Zero-initialised buffer keeps the tile layout's ragged-fill invariant;
-  // only in-map output pixels are written below.
   PackedActivation out{ol, std::vector<float>(ol.volume())};
+  std::vector<std::size_t> in_col(
+      il.kind == LayoutKind::kWinogradTile ? s.w : 0);
+  std::vector<std::size_t> out_col(
+      out_kind == LayoutKind::kWinogradTile ? os.w : 0);
+  maxpool2x2_packed_into(il, input.data, ol, out.data, in_col, out_col);
+  return out;
+}
+
+void maxpool2x2_packed_into(const Layout& il, std::span<const float> in,
+                            const Layout& ol, std::span<float> out,
+                            std::span<std::size_t> in_col,
+                            std::span<std::size_t> out_col) {
+  if (il.kind != LayoutKind::kNCHW &&
+      il.kind != LayoutKind::kWinogradTile) {
+    throw std::invalid_argument(
+        "maxpool2x2_packed: input must be NCHW or Winograd-tile form");
+  }
+  const LayoutKind out_kind = ol.kind;
+  if (out_kind != LayoutKind::kNCHW &&
+      out_kind != LayoutKind::kWinogradTile) {
+    throw std::invalid_argument(
+        "maxpool2x2_packed: output must be NCHW or Winograd-tile form");
+  }
+  if (in.size() != il.volume()) {
+    throw std::invalid_argument(
+        "maxpool2x2_packed: buffer size != layout volume");
+  }
+  const auto& s = il.shape;
+  if (s.h < 2 || s.w < 2) {
+    throw std::invalid_argument("maxpool2x2_packed: input too small");
+  }
+  const Shape4 os{s.n, s.c, s.h / 2, s.w / 2};
+  if (!(ol.shape == os)) {
+    throw std::invalid_argument(
+        "maxpool2x2_packed: output layout does not match this pool");
+  }
+  if (out.size() != ol.volume()) {
+    throw std::invalid_argument(
+        "maxpool2x2_packed: output buffer size != layout volume");
+  }
 
   const bool in_tiled = il.kind == LayoutKind::kWinogradTile;
   const bool out_tiled = out_kind == LayoutKind::kWinogradTile;
@@ -510,22 +560,30 @@ PackedActivation maxpool2x2_packed(const PackedActivation& input,
   const std::size_t dm = out_tiled ? ol.tile_m : 0;
   const std::size_t dth = out_tiled ? ol.tiles_h() : 0;
   const std::size_t dtw = out_tiled ? ol.tiles_w() : 0;
+  if (in_col.size() != (in_tiled ? s.w : 0) ||
+      out_col.size() != (out_tiled ? os.w : 0)) {
+    throw std::invalid_argument(
+        "maxpool2x2_packed: column-map span size mismatch");
+  }
+
+  // Zero-fill first so the tile layout's ragged-fill invariant holds on a
+  // dirty (slab-reused) output buffer; only in-map output pixels are
+  // written below.
+  std::fill(out.begin(), out.end(), 0.0F);
 
   // Column maps, shared read-only across planes: input column x -> offset
   // of (·, x) within a tile row block, output column ox likewise. Rows are
   // resolved per y below, so the inner loop is indexed loads/stores with
   // no division.
-  std::vector<std::size_t> in_col(in_tiled ? s.w : 0);
   for (std::size_t x = 0; x < in_col.size(); ++x) {
     in_col[x] = (x / sm) * sm * sm + x % sm;
   }
-  std::vector<std::size_t> out_col(out_tiled ? os.w : 0);
   for (std::size_t x = 0; x < out_col.size(); ++x) {
     out_col[x] = (x / dm) * dm * dm + x % dm;
   }
 
-  const float* src = input.data.data();
-  float* dst = out.data.data();
+  const float* src = in.data();
+  float* dst = out.data();
   const std::size_t planes = s.n * s.c;
   runtime::parallel_for(planes, [&](std::size_t begin, std::size_t end) {
     for (std::size_t plane = begin; plane < end; ++plane) {
@@ -577,7 +635,6 @@ PackedActivation maxpool2x2_packed(const PackedActivation& input,
       }
     }
   });
-  return out;
 }
 
 }  // namespace wino::nn

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "nn/forward.hpp"
+#include "nn/memory_plan.hpp"
 #include "nn/network.hpp"
 #include "tensor/layout.hpp"
 #include "tensor/tensor.hpp"
@@ -66,6 +67,11 @@ struct LayerPlan {
 struct ExecutionPlan {
   std::vector<LayerSpec> layers;
   std::vector<LayerPlan> steps;  ///< same length as layers
+
+  /// Slab assignment for the plan's buffers, built by the layout pass when
+  /// the input shape is derivable from the first layer; empty otherwise
+  /// (forward() then builds one from the live input shape).
+  MemoryPlan memory;
 
   std::size_t boundaries = 0;        ///< layer -> layer handoffs
   std::size_t nchw_boundaries = 0;   ///< handoffs that materialise NCHW
@@ -204,6 +210,25 @@ void replan_layouts(ExecutionPlan& plan);
 tensor::Tensor4f forward(const ExecutionPlan& plan, const WeightBank& weights,
                          const tensor::Tensor4f& input);
 
+/// As above into a caller-provided output tensor (reshaped as needed):
+/// the zero-allocation serving form — with the plan's MemoryPlan matching
+/// the input and per-thread workspaces warm, the hot loop performs no heap
+/// allocation (pinned by tests/nn_memory_test.cpp).
+void forward(const ExecutionPlan& plan, const WeightBank& weights,
+             const tensor::Tensor4f& input, tensor::Tensor4f& out);
+
+/// Warm the execution state a plan needs so the first real forward pays no
+/// setup: filter transforms into the cross-call cache, and every pool
+/// worker's (plus the caller's) thread-local workspace slab sized for
+/// chunks of up to `max_images`. serve::InferenceServer calls this at
+/// model registration, making per-request memory a planned constant.
+void prewarm_workspaces(const ExecutionPlan& plan, const WeightBank& weights,
+                        std::size_t max_images);
+
+/// Slab bytes owned by the calling thread's workspace (0 before it ever
+/// executed a plan). Test/introspection hook.
+[[nodiscard]] std::size_t thread_workspace_bytes();
+
 /// The memcmp oracle for forward(plan): compose the same per-layer
 /// algorithms through the always-NCHW data flow (run_conv + separate ReLU
 /// pass + NCHW maxpool), one layer at a time. Slow; exists for tests and
@@ -223,5 +248,16 @@ tensor::Tensor4f forward_reference(const ExecutionPlan& plan,
 [[nodiscard]] tensor::PackedActivation maxpool2x2_packed(
     const tensor::PackedActivation& input, tensor::LayoutKind out_kind,
     std::size_t out_tile_m = 0);
+
+/// Allocation-free core of maxpool2x2_packed: same maxes in the same
+/// order, reading/writing caller-provided flat buffers, with the
+/// tile-form column maps in caller-provided spans (sized per
+/// carve_pool_scratch; empty for NCHW sides). The workspace executor runs
+/// every pool step through this; the allocating wrapper delegates here.
+void maxpool2x2_packed_into(const tensor::Layout& il,
+                            std::span<const float> in,
+                            const tensor::Layout& ol, std::span<float> out,
+                            std::span<std::size_t> in_col,
+                            std::span<std::size_t> out_col);
 
 }  // namespace wino::nn

@@ -220,7 +220,15 @@ void sgemm_blocked(std::size_t m, std::size_t n, std::size_t k, float alpha,
                    std::size_t ldb, float beta, float* c, std::size_t ldc,
                    MicroFn micro) {
   const std::size_t ir_panels = (m + kMr - 1) / kMr;
-  std::vector<float> bpack;
+  // Thread-local so the packing buffer is allocated once per thread and
+  // reused across every blocked GEMM it issues (the hot-loop zero-alloc
+  // contract); never nested on one thread (a nested sgemm would run inside
+  // a parallel region and take the direct path). The local reference is
+  // load-bearing: lambdas do not capture thread_locals, so pool workers
+  // would otherwise resolve `bpack` to their own (empty) instance instead
+  // of the submitting caller's buffer.
+  static thread_local std::vector<float> bpack_tls;
+  std::vector<float>& bpack = bpack_tls;
   for (std::size_t jc = 0; jc < n; jc += kNc) {
     const std::size_t nc = std::min(kNc, n - jc);
     const std::size_t jr_panels = (nc + kNr - 1) / kNr;

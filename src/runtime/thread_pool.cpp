@@ -27,7 +27,8 @@ struct ThreadPool::State {
   std::condition_variable work_done;
 
   // Job description for the current parallel_for, guarded by mutex.
-  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  void* ctx = nullptr;
+  void (*fn)(void*, std::size_t, std::size_t) = nullptr;
   std::size_t count = 0;
   std::size_t chunks = 0;
   std::uint64_t epoch = 0;
@@ -60,7 +61,8 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   State& st = *state_;
   std::uint64_t seen_epoch = 0;
   for (;;) {
-    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    void* ctx = nullptr;
+    void (*fn)(void*, std::size_t, std::size_t) = nullptr;
     std::size_t count = 0;
     std::size_t chunks = 0;
     {
@@ -70,7 +72,8 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       });
       if (st.stopping) return;
       seen_epoch = st.epoch;
-      body = st.body;
+      ctx = st.ctx;
+      fn = st.fn;
       count = st.count;
       chunks = st.chunks;
     }
@@ -83,7 +86,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       const std::size_t end = chunk_begin(chunk + 1, count, chunks);
       t_in_parallel_region = true;
       try {
-        (*body)(begin, end);
+        fn(ctx, begin, end);
       } catch (...) {
         error = std::current_exception();
       }
@@ -97,20 +100,21 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   }
 }
 
-void ThreadPool::parallel_for(
-    std::size_t count,
-    const std::function<void(std::size_t, std::size_t)>& body) {
+void ThreadPool::parallel_for_raw(std::size_t count, void* ctx,
+                                  void (*fn)(void*, std::size_t,
+                                             std::size_t)) {
   if (count == 0) return;
   const std::size_t chunks = std::min(count, threads());
   if (chunks <= 1 || t_in_parallel_region) {
-    body(0, count);
+    fn(ctx, 0, count);
     return;
   }
 
   std::lock_guard job_lock(state_->job_mutex);
   {
     std::lock_guard lock(state_->mutex);
-    state_->body = &body;
+    state_->ctx = ctx;
+    state_->fn = fn;
     state_->count = count;
     state_->chunks = chunks;
     state_->pending = workers_.size();
@@ -123,7 +127,7 @@ void ThreadPool::parallel_for(
   std::exception_ptr error;
   t_in_parallel_region = true;
   try {
-    body(0, chunk_begin(1, count, chunks));
+    fn(ctx, 0, chunk_begin(1, count, chunks));
   } catch (...) {
     error = std::current_exception();
   }
@@ -131,7 +135,8 @@ void ThreadPool::parallel_for(
 
   std::unique_lock lock(state_->mutex);
   state_->work_done.wait(lock, [&] { return state_->pending == 0; });
-  state_->body = nullptr;
+  state_->ctx = nullptr;
+  state_->fn = nullptr;
   if (!state_->error && error) state_->error = error;
   if (state_->error) {
     std::exception_ptr rethrow = state_->error;
@@ -174,19 +179,6 @@ void ThreadPool::set_global_threads(std::size_t threads) {
   std::lock_guard lock(g_global_mutex);
   if (g_global_pool && g_global_pool->threads() == threads) return;
   g_global_pool = std::make_unique<ThreadPool>(threads);
-}
-
-void parallel_for(std::size_t count,
-                  const std::function<void(std::size_t, std::size_t)>& body) {
-  ThreadPool::global().parallel_for(count, body);
-}
-
-void parallel_for_each(std::size_t count,
-                       const std::function<void(std::size_t)>& body) {
-  ThreadPool::global().parallel_for(
-      count, [&body](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) body(i);
-      });
 }
 
 }  // namespace wino::runtime

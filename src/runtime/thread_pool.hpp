@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <thread>
 #include <vector>
 
@@ -36,8 +35,23 @@ class ThreadPool {
   /// and concurrent calls from distinct application threads serialise on
   /// an internal job mutex rather than interleaving.
   /// The first exception thrown by any chunk is rethrown to the caller.
-  void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t, std::size_t)>& body);
+  ///
+  /// The body is dispatched as a raw (context, function-pointer) pair, not
+  /// a std::function — submitting a job performs no heap allocation, a
+  /// requirement of the zero-allocation forward pass (the batched executor
+  /// submits one job per forward call; pinned by tests/nn_memory_test.cpp).
+  template <typename F>
+  void parallel_for(std::size_t count, const F& body) {
+    parallel_for_raw(
+        count, const_cast<void*>(static_cast<const void*>(&body)),
+        [](void* ctx, std::size_t begin, std::size_t end) {
+          (*static_cast<const F*>(ctx))(begin, end);
+        });
+  }
+
+  /// Type-erased core of parallel_for: fn(ctx, begin, end) per chunk.
+  void parallel_for_raw(std::size_t count, void* ctx,
+                        void (*fn)(void*, std::size_t, std::size_t));
 
   /// Chunk boundary helper: [chunk_begin(i), chunk_begin(i+1)) is chunk i of
   /// `count` items split into `chunks` near-equal contiguous ranges.
@@ -66,12 +80,19 @@ class ThreadPool {
 };
 
 /// parallel_for on the global pool.
-void parallel_for(std::size_t count,
-                  const std::function<void(std::size_t, std::size_t)>& body);
+template <typename F>
+void parallel_for(std::size_t count, const F& body) {
+  ThreadPool::global().parallel_for(count, body);
+}
 
 /// Convenience: body receives one index at a time (still chunked under the
 /// hood, so per-chunk scratch reuse is the ThreadPool overload's job).
-void parallel_for_each(std::size_t count,
-                       const std::function<void(std::size_t)>& body);
+template <typename F>
+void parallel_for_each(std::size_t count, const F& body) {
+  ThreadPool::global().parallel_for(
+      count, [&body](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      });
+}
 
 }  // namespace wino::runtime

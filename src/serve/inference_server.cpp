@@ -56,6 +56,11 @@ ModelId InferenceServer::add_model(std::string name, nn::ExecutionPlan plan,
     throw std::invalid_argument(
         "add_model: plan steps do not match its layer stack");
   }
+  // Size execution state at registration, not first request: filter
+  // transforms into the cross-call cache, and one workspace slab per pool
+  // participant from MemoryPlan.peak_bytes — per-request memory becomes a
+  // planned constant under the configured max_batch.
+  nn::prewarm_workspaces(plan, weights, config_.max_batch);
   auto model = std::make_shared<const Model>(
       Model{std::move(name), std::move(plan), std::move(weights)});
   std::lock_guard lock(models_mutex_);

@@ -9,7 +9,9 @@ namespace {
 
 /// Nearest-rank percentile, in place (nth_element reorders `samples`, so
 /// callers share one scratch copy across quantiles instead of copying the
-/// sample set per call); q in [0, 1].
+/// sample set per call); q in [0, 1]. An empty sample set — a snapshot
+/// taken before any request completed — reports 0.0 rather than reading
+/// samples[0] of an empty vector (pinned by tests/serve_test.cpp).
 double percentile(std::vector<double>& samples, double q) {
   if (samples.empty()) return 0.0;
   const auto rank = static_cast<std::size_t>(

@@ -144,8 +144,11 @@ struct PackedActivation {
 /// tensor::pack walks rows serially through it and conv::im2col fans the
 /// same call out row-parallel, so the two panels are byte-identical by
 /// construction (the determinism contract the panel conv consumer
-/// relies on).
-inline void im2col_lower_row(const Tensor4f& input, std::size_t image,
+/// relies on). Templated over the tensor type so owning Tensor4f and
+/// non-owning Tensor4fView (slab-backed activations in the workspace
+/// executor) lower through the identical code path.
+template <typename TensorLike>
+inline void im2col_lower_row(const TensorLike& input, std::size_t image,
                              std::size_t r, int pad_h, int pad_w, int stride,
                              std::size_t row, std::size_t out_h,
                              std::size_t out_w, std::span<float> out_row) {

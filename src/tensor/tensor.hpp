@@ -112,6 +112,49 @@ class Tensor4 {
 using Tensor4f = Tensor4<float>;
 using Tensor4d = Tensor4<double>;
 
+/// Non-owning read view over a flat NCHW buffer with Tensor4's indexing
+/// semantics. Lets the workspace executor hand slab-backed activations to
+/// kernels written against Tensor4 (im2col lowering in particular) without
+/// materialising an owning tensor.
+template <typename T>
+class Tensor4View {
+ public:
+  Tensor4View(Shape4 shape, std::span<const T> data)
+      : shape_(shape), data_(data) {
+    if (data_.size() != shape_.volume()) {
+      throw std::invalid_argument(
+          "Tensor4View: buffer size != shape volume");
+    }
+  }
+
+  [[nodiscard]] const Shape4& shape() const { return shape_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  const T& operator()(std::size_t n, std::size_t c, std::size_t h,
+                      std::size_t w) const {
+    return data_[((n * shape_.c + c) * shape_.h + h) * shape_.w + w];
+  }
+
+  /// Zero-padded read; same semantics as Tensor4::padded.
+  [[nodiscard]] T padded(std::size_t n, std::size_t c, std::ptrdiff_t h,
+                         std::ptrdiff_t w) const {
+    if (h < 0 || w < 0 || static_cast<std::size_t>(h) >= shape_.h ||
+        static_cast<std::size_t>(w) >= shape_.w) {
+      return T{};
+    }
+    return (*this)(n, c, static_cast<std::size_t>(h),
+                   static_cast<std::size_t>(w));
+  }
+
+  [[nodiscard]] std::span<const T> flat() const { return data_; }
+
+ private:
+  Shape4 shape_{};
+  std::span<const T> data_;
+};
+
+using Tensor4fView = Tensor4View<float>;
+
 /// Maximum absolute elementwise difference; throws if shapes differ.
 template <typename T>
 T max_abs_diff(const Tensor4<T>& a, const Tensor4<T>& b) {

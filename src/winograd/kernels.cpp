@@ -18,8 +18,20 @@ void TileTransformer::sandwich(const FMatrix& mat, std::span<const float> in,
   if (in.size() != cols * cols || out.size() != rows * rows) {
     throw std::invalid_argument("sandwich: tile size mismatch");
   }
-  // tmp = mat * in  (rows x cols)
-  std::vector<float> tmp(rows * cols, 0.0F);
+  // tmp = mat * in  (rows x cols). Tile edges are tiny (n = m + r - 1 <= 6
+  // for every supported F(m, r)), so the intermediate lives on the stack —
+  // this runs per gathered tile in the conv hot loop, where a heap
+  // allocation per call would dominate the arithmetic.
+  float stack_buf[64];
+  std::vector<float> heap_buf;
+  float* tmp;
+  if (rows * cols <= std::size(stack_buf)) {
+    tmp = stack_buf;
+  } else {
+    heap_buf.resize(rows * cols);
+    tmp = heap_buf.data();
+  }
+  std::fill(tmp, tmp + rows * cols, 0.0F);
   for (std::size_t i = 0; i < rows; ++i) {
     for (std::size_t k = 0; k < cols; ++k) {
       const float a = mat(i, k);
@@ -228,24 +240,28 @@ Tensor4f conv2d_winograd(const Tensor4f& input, const TransformedKernels& tk,
   return out;
 }
 
-tensor::PackedActivation conv2d_winograd_layout(
-    const tensor::PackedActivation& input, const TransformedKernels& tk,
-    const TileTransformer& xf, const WinogradConvOptions& opt,
-    tensor::LayoutKind out_kind, bool fuse_relu) {
+void conv2d_winograd_layout_into(const tensor::Layout& il,
+                                 std::span<const float> in,
+                                 const TransformedKernels& tk,
+                                 const TileTransformer& xf,
+                                 const WinogradConvOptions& opt,
+                                 const tensor::Layout& ol,
+                                 std::span<float> out, bool fuse_relu,
+                                 const WinogradScratch& scratch) {
   using tensor::Layout;
   using tensor::LayoutKind;
-  const Layout& il = input.layout;
   if (il.kind != LayoutKind::kNCHW &&
       il.kind != LayoutKind::kWinogradTile) {
     throw std::invalid_argument(
         "conv2d_winograd_layout: input must be NCHW or Winograd-tile form");
   }
+  const LayoutKind out_kind = ol.kind;
   if (out_kind != LayoutKind::kNCHW &&
       out_kind != LayoutKind::kWinogradTile) {
     throw std::invalid_argument(
         "conv2d_winograd_layout: output must be NCHW or Winograd-tile form");
   }
-  if (input.data.size() != il.volume()) {
+  if (in.size() != il.volume()) {
     throw std::invalid_argument(
         "conv2d_winograd_layout: buffer size != layout volume");
   }
@@ -279,10 +295,23 @@ tensor::PackedActivation conv2d_winograd_layout(
   const std::size_t tiles_w = (out_w + mm - 1) / mm;
 
   const tensor::Shape4 out_shape{is.n, kernel_count, out_h, out_w};
-  const Layout ol = out_kind == LayoutKind::kNCHW
-                        ? Layout::nchw(out_shape)
-                        : Layout::winograd_tile(out_shape, mm);
-  tensor::PackedActivation out{ol, std::vector<float>(ol.volume())};
+  if (!(ol.shape == out_shape) ||
+      (out_kind == LayoutKind::kWinogradTile && ol.tile_m != mm)) {
+    throw std::invalid_argument(
+        "conv2d_winograd_layout: output layout does not match this conv");
+  }
+  if (out.size() != ol.volume()) {
+    throw std::invalid_argument(
+        "conv2d_winograd_layout: output buffer size != layout volume");
+  }
+  if (scratch.d.size() != nsq || scratch.u_all.size() != is.c * nsq ||
+      scratch.prod.size() != nsq || scratch.acc_m.size() != nsq ||
+      scratch.y.size() != mm * mm || scratch.acc_y.size() != mm * mm ||
+      scratch.row_tile.size() != n || scratch.row_in.size() != n ||
+      scratch.col_off.size() != n) {
+    throw std::invalid_argument(
+        "conv2d_winograd_layout: scratch size mismatch");
+  }
 
   // Input-side geometry for the tile-form gather.
   const std::size_t in_tm = il.kind == LayoutKind::kWinogradTile
@@ -294,15 +323,15 @@ tensor::PackedActivation conv2d_winograd_layout(
       il.kind == LayoutKind::kWinogradTile ? il.tiles_w() : 0;
   const std::size_t in_tmsq = in_tm * in_tm;
 
-  std::vector<float> d(nsq);
-  std::vector<float> u_all(is.c * nsq);
-  std::vector<float> prod(nsq);
-  std::vector<float> acc_m(nsq);
-  std::vector<float> y(mm * mm);
-  std::vector<float> acc_y(mm * mm);
+  const std::span<float> d = scratch.d;
+  const std::span<float> u_all = scratch.u_all;
+  const std::span<float> prod = scratch.prod;
+  const std::span<float> acc_m = scratch.acc_m;
+  const std::span<float> y = scratch.y;
+  const std::span<float> acc_y = scratch.acc_y;
 
-  const float* src = input.data.data();
-  float* dst = out.data.data();
+  const float* src = in.data();
+  float* dst = out.data();
   const bool in_tiled = il.kind == LayoutKind::kWinogradTile;
 
   // Precomputed gather maps for the tile-form input: the window row i /
@@ -310,9 +339,9 @@ tensor::PackedActivation conv2d_winograd_layout(
   // offset within tile) pair. Rebuilt once per tile row / tile column, so
   // the per-element gather is a single indexed load — no division, no
   // validity branch (validity is a contiguous [lo, hi) span instead).
-  std::vector<std::size_t> row_tile(n);  // source tile row
-  std::vector<std::size_t> row_in(n);    // row-within-tile * in_tm
-  std::vector<std::size_t> col_off(n);   // tile-col * tm^2 + col-within
+  const std::span<std::size_t> row_tile = scratch.row_tile;
+  const std::span<std::size_t> row_in = scratch.row_in;
+  const std::span<std::size_t> col_off = scratch.col_off;
 
   for (std::size_t img = 0; img < is.n; ++img) {
     for (std::size_t th = 0; th < tiles_h; ++th) {
@@ -463,6 +492,65 @@ tensor::PackedActivation conv2d_winograd_layout(
       }
     }
   }
+}
+
+tensor::PackedActivation conv2d_winograd_layout(
+    const tensor::PackedActivation& input, const TransformedKernels& tk,
+    const TileTransformer& xf, const WinogradConvOptions& opt,
+    tensor::LayoutKind out_kind, bool fuse_relu) {
+  using tensor::Layout;
+  using tensor::LayoutKind;
+  if (out_kind != LayoutKind::kNCHW &&
+      out_kind != LayoutKind::kWinogradTile) {
+    throw std::invalid_argument(
+        "conv2d_winograd_layout: output must be NCHW or Winograd-tile form");
+  }
+  const Layout& il = input.layout;
+  const auto& is = il.shape;
+  const auto r = static_cast<std::size_t>(xf.r());
+  const int pad = opt.pad;
+  const std::ptrdiff_t oh = static_cast<std::ptrdiff_t>(is.h) + 2 * pad -
+                            static_cast<std::ptrdiff_t>(r) + 1;
+  const std::ptrdiff_t ow = static_cast<std::ptrdiff_t>(is.w) + 2 * pad -
+                            static_cast<std::ptrdiff_t>(r) + 1;
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument(
+        "conv2d_winograd_layout: output would be empty");
+  }
+  const auto mm = static_cast<std::size_t>(xf.m());
+  const tensor::Shape4 out_shape{is.n, tk.kernel_count(),
+                                 static_cast<std::size_t>(oh),
+                                 static_cast<std::size_t>(ow)};
+  const Layout ol = out_kind == LayoutKind::kNCHW
+                        ? Layout::nchw(out_shape)
+                        : Layout::winograd_tile(out_shape, mm);
+  tensor::PackedActivation out{ol, std::vector<float>(ol.volume())};
+
+  // One-shot scratch matching carve_winograd_scratch's composition; the
+  // allocation-free core does all remaining validation.
+  const auto n = static_cast<std::size_t>(xf.tile());
+  const std::size_t nsq = n * n;
+  std::vector<float> fbuf(nsq + is.c * nsq + nsq + nsq + mm * mm + mm * mm);
+  std::vector<std::size_t> ibuf(3 * n);
+  WinogradScratch scratch;
+  float* f = fbuf.data();
+  scratch.d = {f, nsq};
+  f += nsq;
+  scratch.u_all = {f, is.c * nsq};
+  f += is.c * nsq;
+  scratch.prod = {f, nsq};
+  f += nsq;
+  scratch.acc_m = {f, nsq};
+  f += nsq;
+  scratch.y = {f, mm * mm};
+  f += mm * mm;
+  scratch.acc_y = {f, mm * mm};
+  scratch.row_tile = {ibuf.data(), n};
+  scratch.row_in = {ibuf.data() + n, n};
+  scratch.col_off = {ibuf.data() + 2 * n, n};
+
+  conv2d_winograd_layout_into(il, input.data, tk, xf, opt, ol, out.data,
+                              fuse_relu, scratch);
   return out;
 }
 

@@ -147,4 +147,38 @@ tensor::PackedActivation conv2d_winograd_layout(
     const TileTransformer& xf, const WinogradConvOptions& opt,
     tensor::LayoutKind out_kind, bool fuse_relu);
 
+/// Caller-provided scratch for conv2d_winograd_layout_into: the data tile
+/// d, the per-channel transform bank u_all (C * n^2 floats), the
+/// accumulation tiles, and the tile-form gather maps. Carved out of a
+/// workspace slab by nn::carve_winograd_scratch, which is also the single
+/// definition of each span's extent.
+struct WinogradScratch {
+  std::span<float> d;        ///< n*n gathered input tile
+  std::span<float> u_all;    ///< C * n*n transformed data tiles
+  std::span<float> prod;     ///< n*n elementwise product (post-inverse)
+  std::span<float> acc_m;    ///< n*n transform-domain accumulator
+  std::span<float> y;        ///< m*m inverse-transformed tile
+  std::span<float> acc_y;    ///< m*m output-domain accumulator
+  std::span<std::size_t> row_tile;  ///< tile-form gather: source tile row
+  std::span<std::size_t> row_in;    ///< row-within-tile * tile_m
+  std::span<std::size_t> col_off;   ///< tile-col * tile_m^2 + col-within
+};
+
+/// Allocation-free core of conv2d_winograd_layout: identical arithmetic in
+/// the identical order, reading the input from `in` (described by `il`),
+/// writing the output into `out` (described by `ol` — kNCHW or
+/// kWinogradTile with the transformer's own m), with every intermediate in
+/// caller-provided scratch. The plan executor in nn/forward.cpp runs every
+/// Winograd conv layer through this against its per-thread workspace;
+/// the allocating conv2d_winograd_layout wrapper delegates here, so the
+/// two entry points cannot diverge numerically.
+void conv2d_winograd_layout_into(const tensor::Layout& il,
+                                 std::span<const float> in,
+                                 const TransformedKernels& tk,
+                                 const TileTransformer& xf,
+                                 const WinogradConvOptions& opt,
+                                 const tensor::Layout& ol,
+                                 std::span<float> out, bool fuse_relu,
+                                 const WinogradScratch& scratch);
+
 }  // namespace wino::winograd

@@ -160,6 +160,20 @@ TEST(InferenceServerTest, CoalescesConcurrentSubmitsIntoFullBatches) {
   server.shutdown();
 }
 
+// Pins serve/stats.cpp percentile()'s empty-sample guard: a snapshot
+// taken before any request completed must report zeroed quantiles, not
+// read samples[0] of an empty vector.
+TEST(InferenceServerTest, FreshServerSnapshotReportsZeroedStats) {
+  InferenceServer server(ServerConfig{});
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.submitted, 0u);
+  EXPECT_DOUBLE_EQ(stats.p50_latency_us, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p99_latency_us, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max_latency_us, 0.0);
+  server.shutdown();
+}
+
 TEST(InferenceServerTest, MaxWaitFlushesPartialBatch) {
   ServerConfig cfg;
   cfg.max_batch = 8;         // never reached by 3 requests
