@@ -5,6 +5,7 @@
 #include <cmath>
 #include <mutex>
 #include <stdexcept>
+#include <tuple>
 #include <unordered_map>
 
 #include "common/random.hpp"
@@ -115,7 +116,10 @@ double measure_layer_seconds(const ConvLayerSpec& layer, ConvAlgo algo) {
 
 /// Per-process cache of measured per-layer timings keyed by the layer
 /// geometry: repeated shapes (VGG's towers of identical layers, repeated
-/// session registrations over one architecture) measure once.
+/// session registrations over one architecture) measure once. Entries can
+/// be bulk-imported from a persisted MeasuredState (warm server start) and
+/// exported back out; `measurements()` counts actual microbenchmark runs,
+/// which is how tests pin that a warm cache measures nothing.
 class LayerTimeCache {
  public:
   double seconds(const ConvLayerSpec& layer, ConvAlgo algo) {
@@ -131,7 +135,47 @@ class LayerTimeCache {
     // measure the same shape; last write wins with an identical meaning).
     const double secs = measure_layer_seconds(layer, algo);
     std::lock_guard lock(mutex_);
+    ++measurements_;
     return map_.emplace(key, secs).first->second;
+  }
+
+  void import_entries(const std::vector<MeasuredLayerTime>& entries) {
+    std::lock_guard lock(mutex_);
+    for (const MeasuredLayerTime& e : entries) {
+      map_[Key{e.h, e.w, e.c, e.k, e.r, e.pad, e.algo}] = e.seconds;
+    }
+  }
+
+  [[nodiscard]] std::vector<MeasuredLayerTime> export_entries() const {
+    std::vector<MeasuredLayerTime> out;
+    {
+      std::lock_guard lock(mutex_);
+      out.reserve(map_.size());
+      for (const auto& [k, secs] : map_) {
+        out.push_back({k.h, k.w, k.c, k.k, k.r, k.pad, k.algo, secs});
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MeasuredLayerTime& a, const MeasuredLayerTime& b) {
+                return std::tie(a.h, a.w, a.c, a.k, a.r, a.pad, a.algo) <
+                       std::tie(b.h, b.w, b.c, b.k, b.r, b.pad, b.algo);
+              });
+    return out;
+  }
+
+  void clear() {
+    std::lock_guard lock(mutex_);
+    map_.clear();
+  }
+
+  [[nodiscard]] std::uint64_t measurements() const {
+    std::lock_guard lock(mutex_);
+    return measurements_;
+  }
+
+  [[nodiscard]] std::size_t entries() const {
+    std::lock_guard lock(mutex_);
+    return map_.size();
   }
 
  private:
@@ -153,8 +197,9 @@ class LayerTimeCache {
     }
   };
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::unordered_map<Key, double, KeyHash> map_;
+  std::uint64_t measurements_ = 0;
 };
 
 LayerTimeCache& layer_time_cache() {
@@ -202,6 +247,83 @@ Calibration probe_calibration() {
 bool degenerate(const AlgoCalibration& c) {
   return !(c.gflops_small > 0) || !(c.gflops_big > 0) ||
          !(c.ops_small > 0) || !(c.ops_big > c.ops_small);
+}
+
+/// Owns the process's resident Calibration. Replaces the old
+/// function-local static so a persisted calibration can be imported
+/// (preempting the probe — the warm-server-start path) and tests can
+/// clear it to force cold behaviour. `probes()` counts actual probe runs.
+class CalibrationStore {
+ public:
+  const Calibration& get() {
+    std::lock_guard lock(mutex_);
+    if (!have_) {
+      // Probe under the lock: concurrent first callers block instead of
+      // racing duplicate probes; the probe only touches layer_time_cache's
+      // own mutex, so there is no ordering cycle.
+      cal_ = sanitized_probe();
+      have_ = true;
+      ++probes_;
+    }
+    // The reference stays valid for the process lifetime (cal_ is a
+    // member of a leaked-singleton store); an import() after this returns
+    // changes the referenced values, matching "latest resident
+    // calibration" semantics.
+    return cal_;
+  }
+
+  void import(const Calibration& cal) {
+    std::lock_guard lock(mutex_);
+    cal_ = cal;
+    have_ = true;
+  }
+
+  void clear() {
+    std::lock_guard lock(mutex_);
+    have_ = false;
+  }
+
+  [[nodiscard]] bool loaded() const {
+    std::lock_guard lock(mutex_);
+    return have_;
+  }
+
+  [[nodiscard]] std::optional<Calibration> snapshot() const {
+    std::lock_guard lock(mutex_);
+    if (!have_) return std::nullopt;
+    return cal_;
+  }
+
+  [[nodiscard]] std::uint64_t probes() const {
+    std::lock_guard lock(mutex_);
+    return probes_;
+  }
+
+ private:
+  static Calibration sanitized_probe() {
+    Calibration c = probe_calibration();
+    // A degenerate probe point (clock glitch returning a zero or negative
+    // rate) would make a candidate look free; fall back to the
+    // deterministic default for that family instead.
+    const Calibration fallback = default_calibration();
+    if (degenerate(c.spatial)) c.spatial = fallback.spatial;
+    if (degenerate(c.im2col)) c.im2col = fallback.im2col;
+    if (degenerate(c.fft)) c.fft = fallback.fft;
+    if (degenerate(c.winograd2)) c.winograd2 = fallback.winograd2;
+    if (degenerate(c.winograd3)) c.winograd3 = fallback.winograd3;
+    if (degenerate(c.winograd4)) c.winograd4 = fallback.winograd4;
+    return c;
+  }
+
+  mutable std::mutex mutex_;
+  Calibration cal_;
+  bool have_ = false;
+  std::uint64_t probes_ = 0;
+};
+
+CalibrationStore& calibration_store() {
+  static CalibrationStore store;
+  return store;
 }
 
 }  // namespace
@@ -254,22 +376,32 @@ Calibration default_calibration() {
   return cal;
 }
 
-const Calibration& measured_calibration() {
-  static const Calibration cal = [] {
-    Calibration c = probe_calibration();
-    // A degenerate probe point (clock glitch returning a zero or negative
-    // rate) would make a candidate look free; fall back to the
-    // deterministic default for that family instead.
-    const Calibration fallback = default_calibration();
-    if (degenerate(c.spatial)) c.spatial = fallback.spatial;
-    if (degenerate(c.im2col)) c.im2col = fallback.im2col;
-    if (degenerate(c.fft)) c.fft = fallback.fft;
-    if (degenerate(c.winograd2)) c.winograd2 = fallback.winograd2;
-    if (degenerate(c.winograd3)) c.winograd3 = fallback.winograd3;
-    if (degenerate(c.winograd4)) c.winograd4 = fallback.winograd4;
-    return c;
-  }();
-  return cal;
+const Calibration& measured_calibration() { return calibration_store().get(); }
+
+PlanCacheStats plan_cache_stats() {
+  PlanCacheStats s;
+  s.calibration_probes = calibration_store().probes();
+  s.layer_measurements = layer_time_cache().measurements();
+  s.layer_entries = layer_time_cache().entries();
+  s.calibration_loaded = calibration_store().loaded();
+  return s;
+}
+
+MeasuredState export_measured_state() {
+  MeasuredState state;
+  state.calibration = calibration_store().snapshot();
+  state.layer_times = layer_time_cache().export_entries();
+  return state;
+}
+
+void import_measured_state(const MeasuredState& state) {
+  if (state.calibration) calibration_store().import(*state.calibration);
+  layer_time_cache().import_entries(state.layer_times);
+}
+
+void clear_measured_state() {
+  calibration_store().clear();
+  layer_time_cache().clear();
 }
 
 double measure_layer_ms(const ConvLayerSpec& layer, ConvAlgo algo) {

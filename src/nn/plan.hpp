@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -104,6 +105,9 @@ struct AlgoCalibration {
   /// Rate for a layer of `ops` modelled ops: log-linear between the two
   /// anchors, clamped outside them.
   [[nodiscard]] double gflops_at(double ops) const;
+
+  friend bool operator==(const AlgoCalibration&,
+                         const AlgoCalibration&) = default;
 };
 
 /// The measured half of the cost model: one AlgoCalibration per backend
@@ -121,6 +125,8 @@ struct Calibration {
 
   /// The calibration entry for `algo` (winograd selected by its m).
   [[nodiscard]] const AlgoCalibration& entry(ConvAlgo algo) const;
+
+  friend bool operator==(const Calibration&, const Calibration&) = default;
 };
 
 /// Deterministic fallback rates (also the documentation of the ratios the
@@ -134,8 +140,54 @@ struct Calibration {
 /// an overhead-bound tiny-map shape) a few times and the best wall-clocks
 /// turn into the two delivered-GFLOP/s anchors. The probe runs once per
 /// process and the result is cached (so repeated planning — the serving
-/// registration path — is cheap and deterministic within a process).
+/// registration path — is cheap and deterministic within a process). A
+/// calibration injected via import_measured_state() (e.g. loaded from the
+/// on-disk cache, nn/calibration_io.hpp) preempts the probe entirely.
 [[nodiscard]] const Calibration& measured_calibration();
+
+/// One cached per-layer timing — the export/import unit of the
+/// measure_layer_ms cache (keys mirror its geometry key).
+struct MeasuredLayerTime {
+  std::size_t h = 0, w = 0, c = 0, k = 0, r = 0;
+  int pad = 0;
+  ConvAlgo algo = ConvAlgo::kSpatial;
+  double seconds = 0.0;
+
+  friend bool operator==(const MeasuredLayerTime&,
+                         const MeasuredLayerTime&) = default;
+};
+
+/// Everything the measuring paths have learned this process: the probe
+/// calibration (if any resident) and the per-layer timing cache. The
+/// serialisable snapshot behind calibration persistence.
+struct MeasuredState {
+  std::optional<Calibration> calibration;
+  /// Sorted by (h, w, c, k, r, pad, algo) for deterministic output.
+  std::vector<MeasuredLayerTime> layer_times;
+};
+
+/// Introspection counters for the measured-state caches; tests pin
+/// "warm start skips the probe" with these.
+struct PlanCacheStats {
+  std::uint64_t calibration_probes = 0;  ///< full probe runs this process
+  std::uint64_t layer_measurements = 0;  ///< individual layer timings run
+  std::size_t layer_entries = 0;         ///< timings currently cached
+  bool calibration_loaded = false;       ///< a calibration is resident
+};
+[[nodiscard]] PlanCacheStats plan_cache_stats();
+
+/// Snapshot the measured caches (thread-safe, non-destructive).
+[[nodiscard]] MeasuredState export_measured_state();
+
+/// Seed the measured caches: the calibration (when present) preempts the
+/// probe in measured_calibration(), and every layer timing preempts its
+/// measure_layer_ms measurement. Existing layer entries with the same key
+/// are overwritten; others are kept.
+void import_measured_state(const MeasuredState& state);
+
+/// Drop both caches — the next measured_calibration() probes again and
+/// every measure_layer_ms re-measures. Test hook for cold-cache paths.
+void clear_measured_state();
 
 /// Planner knobs.
 struct PlannerOptions {

@@ -13,6 +13,8 @@
 #include <optional>
 #include <utility>
 
+#include "runtime/clock.hpp"
+
 namespace wino::runtime {
 
 /// \brief Bounded blocking MPMC queue.
@@ -67,6 +69,13 @@ class BoundedQueue {
     return take(lock);
   }
 
+  /// Non-blocking pop. \return the front element, or std::nullopt when
+  /// the queue is currently empty (closed or not).
+  std::optional<T> try_pop() {
+    std::unique_lock lock(mutex_);
+    return take(lock);
+  }
+
   /// Pop with a timeout.
   /// \return the front element; std::nullopt on timeout or closed+drained
   /// (disambiguate with closed() if it matters).
@@ -76,6 +85,40 @@ class BoundedQueue {
     not_empty_.wait_for(lock, timeout,
                         [&] { return closed_ || !items_.empty(); });
     return take(lock);
+  }
+
+  /// Pop waiting until `deadline` *as measured by `clock`*. Against the
+  /// steady source this is an ordinary cv wait_until; against a manual
+  /// clock the wait is untimed and re-evaluates the deadline whenever the
+  /// queue is kicked — callers must have registered kick() as a wake hook
+  /// on the clock (serve::InferenceServer does), or a manual-clock
+  /// deadline could only be noticed on the next push/close.
+  /// \return the front element; std::nullopt once the clock reaches
+  /// `deadline`, or on closed+drained.
+  std::optional<T> pop_until(const ClockSource& clock,
+                             ClockSource::time_point deadline) {
+    std::unique_lock lock(mutex_);
+    if (clock.manual()) {
+      // kick() serialises on mutex_ after the clock moved, so the waiter
+      // is either before this predicate check (and sees the new time) or
+      // parked inside wait() (and receives the notify) — no lost wakeup.
+      not_empty_.wait(lock, [&] {
+        return closed_ || !items_.empty() || clock.now() >= deadline;
+      });
+    } else {
+      not_empty_.wait_until(lock, deadline,
+                            [&] { return closed_ || !items_.empty(); });
+    }
+    return take(lock);
+  }
+
+  /// Wake every blocked consumer for a spurious predicate re-check (used
+  /// as a ManualClock wake hook so time-based pop_until predicates are
+  /// re-evaluated when test time moves). Never changes queue contents.
+  void kick() {
+    { std::lock_guard lock(mutex_); }  // order after any in-flight check
+    not_empty_.notify_all();
+    not_full_.notify_all();
   }
 
   /// Close the queue: wakes every waiter; subsequent pushes fail, pops

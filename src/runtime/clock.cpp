@@ -1,0 +1,39 @@
+#include "runtime/clock.hpp"
+
+#include <algorithm>
+
+namespace wino::runtime {
+
+ClockSource::~ClockSource() = default;
+
+std::size_t ClockSource::add_wake_hook(std::function<void()> hook) {
+  std::lock_guard lock(hooks_mutex_);
+  const std::size_t token = next_token_++;
+  hooks_.emplace_back(token, std::move(hook));
+  return token;
+}
+
+void ClockSource::remove_wake_hook(std::size_t token) {
+  std::lock_guard lock(hooks_mutex_);
+  hooks_.erase(std::remove_if(hooks_.begin(), hooks_.end(),
+                              [&](const auto& h) { return h.first == token; }),
+               hooks_.end());
+}
+
+void ClockSource::fire_wake_hooks() {
+  // Invoke under hooks_mutex_: once remove_wake_hook() returns, its hook
+  // can never run again, so an owner may tear down whatever the hook
+  // touches (the BoundedQueue behind a kick()) right after unregistering.
+  // The lock-order consequence — hooks_mutex_ is taken before any mutex a
+  // hook acquires — is safe because registration/removal callers never
+  // hold those mutexes (documented on add_wake_hook).
+  std::lock_guard lock(hooks_mutex_);
+  for (const auto& [token, hook] : hooks_) hook();
+}
+
+ClockSource& steady_clock_source() {
+  static SteadyClockSource source;
+  return source;
+}
+
+}  // namespace wino::runtime

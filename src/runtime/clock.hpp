@@ -1,0 +1,129 @@
+// Injectable time source for the serving layer (and anything else whose
+// behaviour depends on elapsed time). Production code runs on the
+// process-wide steady_clock-backed source; tests inject a ManualClock and
+// advance it explicitly, which makes every timeout/deadline path a pure
+// function of the test script — no sleeps, no scheduler-dependent
+// flakiness, deterministic under TSan. The serve timeout-flush tests had a
+// flakiness history precisely because steady_clock was hardwired there
+// (see tests/serve_test.cpp).
+//
+// The seam has two halves:
+//   * now(): the current time.
+//   * timed waits: a real clock maps a deadline wait onto
+//     cv.wait_until(); a manual clock cannot (real time passing means
+//     nothing), so waiters block untimed and the clock wakes them through
+//     registered wake hooks whenever advance()/set_time() moves time.
+//     BoundedQueue::pop_until() encapsulates the pattern for the batcher.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace wino::runtime {
+
+/// \brief Abstract monotonic time source.
+///
+/// Implementations must be safe to call from any thread. Time points are
+/// std::chrono::steady_clock time_points so callers keep using the
+/// standard duration/time_point arithmetic and the production source is a
+/// zero-cost passthrough.
+class ClockSource {
+ public:
+  using clock = std::chrono::steady_clock;
+  using time_point = clock::time_point;
+  using duration = clock::duration;
+
+  virtual ~ClockSource();
+
+  [[nodiscard]] virtual time_point now() const = 0;
+
+  /// True when time only moves under explicit test control. Timed waiters
+  /// branch on this: against a manual clock a deadline in the future can
+  /// never expire on its own, so they wait untimed and rely on the wake
+  /// hooks below firing when the test moves time.
+  [[nodiscard]] virtual bool manual() const { return false; }
+
+  /// Register a hook invoked after every manual time change (advance/set).
+  /// The steady source stores but never invokes hooks — registration is
+  /// unconditional at the call sites so they need no clock-kind branches.
+  /// Returns a token for remove_wake_hook(). Hooks run with the hook
+  /// registry locked, so once remove_wake_hook() returns the hook will
+  /// never run again (safe teardown of what it touches). Consequently a
+  /// hook may acquire its own mutexes, but add/remove must never be
+  /// called while holding a mutex some hook acquires.
+  std::size_t add_wake_hook(std::function<void()> hook);
+  void remove_wake_hook(std::size_t token);
+
+ protected:
+  /// Invoke every registered hook (manual clocks call this after moving
+  /// time). Runs the hooks under hooks_mutex_ — see add_wake_hook for the
+  /// teardown guarantee and the resulting locking rule.
+  void fire_wake_hooks();
+
+ private:
+  mutable std::mutex hooks_mutex_;
+  std::vector<std::pair<std::size_t, std::function<void()>>> hooks_;
+  std::size_t next_token_ = 1;
+};
+
+/// The production time source: a stateless steady_clock passthrough.
+/// steady_clock_source() returns the shared process-wide instance that
+/// every component defaults to when no clock is injected.
+class SteadyClockSource final : public ClockSource {
+ public:
+  [[nodiscard]] time_point now() const override { return clock::now(); }
+};
+
+[[nodiscard]] ClockSource& steady_clock_source();
+
+/// \brief Test clock: time stands still until the test moves it.
+///
+/// advance()/set_time() update now() and then fire the wake hooks, so
+/// components whose timed waits registered a hook (e.g. a BoundedQueue
+/// waiter via pop_until) re-evaluate their deadlines immediately. Safe to
+/// drive from any thread; a wake hook that locks the waiter's mutex (the
+/// queue kick() pattern) serialises the time change against the waiter's
+/// check-then-wait, so wakeups are never lost.
+class ManualClock final : public ClockSource {
+ public:
+  /// Starts at an arbitrary fixed epoch (steady_clock-like: only
+  /// differences mean anything).
+  ManualClock() : now_(time_point{} + std::chrono::hours(1)) {}
+
+  [[nodiscard]] time_point now() const override {
+    std::lock_guard lock(mutex_);
+    return now_;
+  }
+
+  [[nodiscard]] bool manual() const override { return true; }
+
+  /// Move time forward by `d` (never backwards) and wake timed waiters.
+  void advance(duration d) {
+    {
+      std::lock_guard lock(mutex_);
+      if (d > duration::zero()) now_ += d;
+    }
+    fire_wake_hooks();
+  }
+
+  /// Jump to an absolute point (must not move backwards; ignored if it
+  /// would) and wake timed waiters.
+  void set_time(time_point t) {
+    {
+      std::lock_guard lock(mutex_);
+      if (t > now_) now_ = t;
+    }
+    fire_wake_hooks();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  time_point now_;
+};
+
+}  // namespace wino::runtime

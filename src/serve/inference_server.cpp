@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "nn/calibration_io.hpp"
+
 namespace wino::serve {
 
 using tensor::Tensor4f;
@@ -19,8 +21,8 @@ ServerConfig sanitized(ServerConfig config) {
   return config;
 }
 
-double microseconds_between(std::chrono::steady_clock::time_point from,
-                            std::chrono::steady_clock::time_point to) {
+double microseconds_between(runtime::ClockSource::time_point from,
+                            runtime::ClockSource::time_point to) {
   return std::chrono::duration<double, std::micro>(to - from).count();
 }
 
@@ -28,9 +30,20 @@ double microseconds_between(std::chrono::steady_clock::time_point from,
 
 InferenceServer::InferenceServer(ServerConfig config)
     : config_(sanitized(std::move(config))),
+      clock_(config_.clock ? config_.clock : &runtime::steady_clock_source()),
       queue_(config_.max_inflight),
       batch_queue_(config_.max_inflight),
-      stats_(config_.max_batch) {
+      stats_(config_.max_batch, clock_) {
+  if (!config_.calibration_cache_path.empty()) {
+    // Warm nn's measured-calibration + layer-timing caches before any
+    // planning happens; a stale/corrupt/foreign file simply loads nothing
+    // and the first add_model_planned() probes as usual.
+    nn::load_measured_state(config_.calibration_cache_path);
+  }
+  // The batcher's deadline waits (pop_until) are driven by this hook when
+  // the clock is a ManualClock: every test advance() re-evaluates the
+  // wait predicates. Against the steady source the hook never fires.
+  wake_hook_token_ = clock_->add_wake_hook([this] { queue_.kick(); });
   batcher_ = std::thread(&InferenceServer::batcher_loop, this);
   workers_.reserve(config_.worker_threads);
   for (std::size_t i = 0; i < config_.worker_threads; ++i) {
@@ -72,8 +85,16 @@ ModelId InferenceServer::add_model_planned(std::string name,
                                            std::vector<nn::LayerSpec> layers,
                                            nn::WeightBank weights,
                                            const nn::PlannerOptions& options) {
-  return add_model(std::move(name), nn::plan_execution(layers, options),
-                   std::move(weights));
+  const ModelId id = add_model(std::move(name),
+                               nn::plan_execution(layers, options),
+                               std::move(weights));
+  if (!config_.calibration_cache_path.empty()) {
+    // Persist whatever planning just measured (calibration probe anchors +
+    // per-layer timings) so the next server process skips the probe and
+    // registers this architecture near-instantly.
+    nn::save_measured_state(config_.calibration_cache_path);
+  }
+  return id;
 }
 
 std::shared_ptr<const InferenceServer::Model> InferenceServer::find_model(
@@ -85,8 +106,8 @@ std::shared_ptr<const InferenceServer::Model> InferenceServer::find_model(
   return models_[model];
 }
 
-std::future<Tensor4f> InferenceServer::submit(ModelId model,
-                                              Tensor4f image) {
+std::future<Tensor4f> InferenceServer::submit(ModelId model, Tensor4f image,
+                                              SubmitOptions options) {
   const auto session = find_model(model);
   const auto& shape = image.shape();
   if (shape.n != 1) {
@@ -113,7 +134,11 @@ std::future<Tensor4f> InferenceServer::submit(ModelId model,
     }
   }
 
-  // Admission control: bound submitted-but-not-completed requests.
+  const double predicted_ms = session->plan.predicted_total_ms;
+  std::uint64_t seq = 0;
+
+  // Admission control: bound submitted-but-not-completed requests, and —
+  // when a cost budget is configured — bound the *predicted* backlog too.
   {
     std::unique_lock lock(inflight_mutex_);
     if (!accepting_) {
@@ -144,20 +169,42 @@ std::future<Tensor4f> InferenceServer::submit(ModelId model,
             "backpressure");
       }
     }
+    // Cost-based admission, checked after a capacity slot is secured so a
+    // kBlock submitter re-evaluates against the backlog it actually joins.
+    if (config_.scheduling == SchedulingPolicy::kEdf &&
+        config_.admission_budget_ms > 0.0 &&
+        backlog_predicted_ms_ + predicted_ms > config_.admission_budget_ms) {
+      stats_.on_admission_reject();
+      throw AdmissionRejected(
+          "InferenceServer::submit: predicted backlog " +
+          std::to_string(backlog_predicted_ms_ + predicted_ms) +
+          " ms exceeds admission budget for model '" + session->name + "'");
+    }
     ++inflight_;
+    backlog_predicted_ms_ += predicted_ms;
+    seq = next_seq_++;
   }
 
   Request request;
   request.model = model;
   request.image = std::move(image);
-  request.enqueue = Clock::now();
+  request.enqueue = clock_->now();
+  if (options.deadline_us > 0) {
+    request.deadline =
+        request.enqueue + std::chrono::microseconds(options.deadline_us);
+    request.has_deadline = true;
+  }
+  request.priority = options.priority;
+  request.predicted_ms = predicted_ms;
+  request.seq = seq;
+  request.tag = options.tag;
   std::future<Tensor4f> result = request.promise.get_future();
   if (!queue_.push(std::move(request))) {
     // shutdown() closed the queue between admission and the push; the
     // request never reached the batcher, so undo its in-flight slot.
     // (on_submit deliberately hasn't fired yet: the counters must keep
-    // submitted == completed + rejected + inflight reconcilable.)
-    finish_requests(1);
+    // submitted == completed + shed + inflight reconcilable.)
+    finish_requests(1, predicted_ms);
     throw ServerOverloaded(
         "InferenceServer::submit: server shut down during submit");
   }
@@ -165,64 +212,161 @@ std::future<Tensor4f> InferenceServer::submit(ModelId model,
   return result;
 }
 
-void InferenceServer::batcher_loop() {
-  struct Pending {
-    std::vector<Request> requests;
-    Clock::time_point deadline{};
-  };
-  std::unordered_map<ModelId, Pending> pending;
-  const auto max_wait = std::chrono::microseconds(config_.max_wait_us);
+bool InferenceServer::starved(const Request& r, Clock::time_point now) const {
+  return config_.starvation_bound_us > 0 &&
+         now - r.enqueue >=
+             std::chrono::microseconds(config_.starvation_bound_us);
+}
 
-  const auto flush = [&](ModelId model, Pending& p) {
-    stats_.on_batch(p.requests.size());
-    Batch batch{model, std::move(p.requests)};
+bool InferenceServer::schedule_before(const Request& a, const Request& b,
+                                      Clock::time_point now) const {
+  if (config_.scheduling == SchedulingPolicy::kFifo) return a.seq < b.seq;
+  // Starvation promotion outranks every class: among promoted requests,
+  // arrival order (they are all equally overdue by policy).
+  const bool sa = starved(a, now);
+  const bool sb = starved(b, now);
+  if (sa != sb) return sa;
+  if (sa) return a.seq < b.seq;
+  if (a.priority != b.priority) return a.priority > b.priority;
+  // EDF within the class; deadline-less requests sort last (time_point::max
+  // from construction), ties broken by admission order for determinism.
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  return a.seq < b.seq;
+}
+
+void InferenceServer::batcher_loop() {
+  const bool edf = config_.scheduling == SchedulingPolicy::kEdf;
+  const auto max_wait = std::chrono::microseconds(config_.max_wait_us);
+  std::unordered_map<ModelId, Pool> pools;
+
+  const auto absorb = [&](Request&& r) {
+    Pool& pool = pools[r.model];
+    const ModelId model = r.model;
+    pool.requests.push_back(std::move(r));
+    if (config_.pending_observer) {
+      config_.pending_observer(model, pool.requests.size());
+    }
+  };
+
+  // Fail every pool request that can no longer make its deadline:
+  // predicted to finish past it — strict inequality throughout, so a
+  // request that would finish exactly on time still runs (and a zero-cost
+  // request dispatched exactly at its deadline counts as on time). The
+  // pure "deadline already passed" hard shed is the predicted_ms == 0
+  // special case. kEdf only; kFifo never sheds.
+  const auto shed_sweep = [&](Clock::time_point now) {
+    for (auto& [model, pool] : pools) {
+      auto& rs = pool.requests;
+      for (auto it = rs.begin(); it != rs.end();) {
+        const bool infeasible =
+            it->has_deadline &&
+            now + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          it->predicted_ms)) >
+                it->deadline;
+        if (infeasible) {
+          shed_request(*it);
+          it = rs.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  };
+
+  // Dispatch up to max_batch requests from `pool` in schedule order.
+  const auto assemble = [&](ModelId model, Pool& pool, Clock::time_point now) {
+    auto& rs = pool.requests;
+    std::stable_sort(rs.begin(), rs.end(),
+                     [&](const Request& a, const Request& b) {
+                       return schedule_before(a, b, now);
+                     });
+    const std::size_t take = std::min(config_.max_batch, rs.size());
+    Batch batch;
+    batch.model = model;
+    batch.requests.reserve(take);
+    std::move(rs.begin(), rs.begin() + static_cast<std::ptrdiff_t>(take),
+              std::back_inserter(batch.requests));
+    rs.erase(rs.begin(), rs.begin() + static_cast<std::ptrdiff_t>(take));
+    stats_.on_batch(batch.requests.size());
+    if (config_.batch_detail_observer) {
+      std::vector<BatchRequestInfo> info;
+      info.reserve(batch.requests.size());
+      for (const Request& r : batch.requests) {
+        info.push_back({r.tag, r.priority, r.has_deadline, r.seq});
+      }
+      config_.batch_detail_observer(model, info);
+    }
     batch_queue_.push(std::move(batch));  // only this thread closes it
   };
-  const auto flush_expired = [&](Clock::time_point now) {
-    for (auto it = pending.begin(); it != pending.end();) {
-      if (it->second.deadline <= now) {
-        flush(it->first, it->second);
-        it = pending.erase(it);
-      } else {
-        ++it;
+
+  // A pool is due when it holds a full batch, its oldest request has
+  // waited max_wait, or (kEdf) some request has reached its launch-by
+  // point — deadline minus predicted cost — so waiting any longer would
+  // turn a meetable deadline into a (predictive) shed.
+  const auto launch_by = [&](const Request& r) {
+    return r.deadline - std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double, std::milli>(
+                                r.predicted_ms));
+  };
+  const auto pool_due_at = [&](const Pool& pool) {
+    auto due = Clock::time_point::max();
+    for (const Request& r : pool.requests) {
+      due = std::min(due, r.enqueue + max_wait);
+      if (edf && r.has_deadline) due = std::min(due, launch_by(r));
+    }
+    return due;
+  };
+  const auto dispatch_ready = [&](Clock::time_point now) {
+    for (auto it = pools.begin(); it != pools.end();) {
+      Pool& pool = it->second;
+      while (pool.requests.size() >= config_.max_batch) {
+        assemble(it->first, pool, now);
       }
+      if (!pool.requests.empty() && pool_due_at(pool) <= now) {
+        assemble(it->first, pool, now);
+      }
+      it = pool.requests.empty() ? pools.erase(it) : ++it;
     }
   };
 
   for (;;) {
+    // Eager drain: coalesce everything already queued before looking at
+    // the clock, so a burst of concurrent submits forms full batches.
+    while (auto r = queue_.try_pop()) absorb(std::move(*r));
+
+    const auto now = clock_->now();
+    if (edf) shed_sweep(now);
+    dispatch_ready(now);
+
     std::optional<Request> request;
-    if (pending.empty()) {
+    if (pools.empty()) {
       request = queue_.pop();
     } else {
-      auto earliest = Clock::time_point::max();
-      for (const auto& [model, p] : pending) {
-        earliest = std::min(earliest, p.deadline);
+      auto wake = Clock::time_point::max();
+      for (const auto& [model, pool] : pools) {
+        wake = std::min(wake, pool_due_at(pool));
       }
-      const auto now = Clock::now();
-      if (earliest <= now) {
-        flush_expired(now);
-        continue;
-      }
-      request = queue_.pop_for(earliest - now);
+      if (wake <= now) continue;  // a sweep just changed what is due
+      request = queue_.pop_until(*clock_, wake);
     }
 
     if (request) {
-      Pending& p = pending[request->model];
-      if (p.requests.empty()) p.deadline = Clock::now() + max_wait;
-      const ModelId model = request->model;
-      p.requests.push_back(std::move(*request));
-      if (p.requests.size() >= config_.max_batch) {
-        flush(model, p);
-        pending.erase(model);
-      }
+      absorb(std::move(*request));
     } else if (queue_.closed()) {
       // Drained after shutdown: dispatch whatever is still pending so no
-      // admitted future is dropped, then stop the workers.
-      for (auto& [model, p] : pending) flush(model, p);
-      pending.clear();
+      // admitted future is dropped (expired requests still shed — their
+      // futures resolve with DeadlineMissed), then stop the workers.
+      while (auto r = queue_.try_pop()) absorb(std::move(*r));
+      const auto end = clock_->now();
+      if (edf) shed_sweep(end);
+      for (auto& [model, pool] : pools) {
+        while (!pool.requests.empty()) assemble(model, pool, end);
+      }
+      pools.clear();
       break;
     }
-    flush_expired(Clock::now());
+    // else: a timed wait elapsed (or a kick fired); loop re-evaluates.
   }
   batch_queue_.close();
 }
@@ -233,8 +377,35 @@ void InferenceServer::worker_loop() {
   }
 }
 
+void InferenceServer::shed_request(Request& request) {
+  stats_.on_shed();
+  request.promise.set_exception(std::make_exception_ptr(DeadlineMissed(
+      "InferenceServer: request shed — deadline unmeetable before "
+      "execution")));
+  finish_requests(1, request.predicted_ms);
+}
+
 void InferenceServer::execute(Batch batch, bool is_retry) {
+  // Hard shed at the execution edge: time kept moving while the batch sat
+  // in the dispatch queue, so requests whose deadline passed since
+  // assembly are failed here instead of burning compute. (Assembly-time
+  // feasibility used the predictive check; here only certainty sheds.)
+  if (config_.scheduling == SchedulingPolicy::kEdf && !is_retry) {
+    const auto now = clock_->now();
+    auto& rs = batch.requests;
+    for (auto it = rs.begin(); it != rs.end();) {
+      if (it->has_deadline && now > it->deadline) {
+        shed_request(*it);
+        it = rs.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (rs.empty()) return;  // whole batch expired in the dispatch queue
+  }
   const std::size_t count = batch.requests.size();
+  double batch_predicted_ms = 0.0;
+  for (const Request& r : batch.requests) batch_predicted_ms += r.predicted_ms;
   try {
     // Inside the try: a throwing observer fails this batch's futures
     // instead of escaping the worker thread (std::terminate) — and the
@@ -252,14 +423,16 @@ void InferenceServer::execute(Batch batch, bool is_retry) {
     const Tensor4f output = nn::forward(model->plan, model->weights, input);
     std::vector<Tensor4f> outputs = nn::unstack_images(output);
 
-    const auto now = Clock::now();
+    const auto now = clock_->now();
     for (std::size_t i = 0; i < count; ++i) {
+      Request& r = batch.requests[i];
       // Stats before set_value: the moment the future resolves, a client
       // may read stats() and must find its own request counted (pinned by
       // serve_test under the TSan CI job, whose scheduling jitter caught
       // the reversed order).
-      stats_.on_complete(microseconds_between(batch.requests[i].enqueue, now));
-      batch.requests[i].promise.set_value(std::move(outputs[i]));
+      stats_.on_complete(microseconds_between(r.enqueue, now),
+                         r.has_deadline && now > r.deadline);
+      r.promise.set_value(std::move(outputs[i]));
     }
   } catch (...) {
     if (count > 1) {
@@ -275,19 +448,23 @@ void InferenceServer::execute(Batch batch, bool is_retry) {
       return;  // the per-request retries released the in-flight slots
     }
     const auto error = std::current_exception();
-    const auto now = Clock::now();
+    const auto now = clock_->now();
     for (Request& r : batch.requests) {
-      stats_.on_complete(microseconds_between(r.enqueue, now));
+      stats_.on_complete(microseconds_between(r.enqueue, now),
+                         r.has_deadline && now > r.deadline);
       r.promise.set_exception(error);
     }
   }
-  finish_requests(count);
+  finish_requests(count, batch_predicted_ms);
 }
 
-void InferenceServer::finish_requests(std::size_t count) {
+void InferenceServer::finish_requests(std::size_t count, double predicted_ms) {
   {
     std::lock_guard lock(inflight_mutex_);
     inflight_ -= std::min(count, inflight_);
+    backlog_predicted_ms_ =
+        std::max(0.0, backlog_predicted_ms_ - predicted_ms);
+    if (inflight_ == 0) backlog_predicted_ms_ = 0.0;  // kill fp drift
   }
   inflight_cv_.notify_all();
 }
@@ -312,15 +489,26 @@ void InferenceServer::shutdown() {
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  if (wake_hook_token_ != 0) {
+    // After this returns the hook can never run again (fire_wake_hooks
+    // holds the registry lock), so destroying queue_ is safe even while a
+    // test thread keeps advancing the ManualClock.
+    clock_->remove_wake_hook(wake_hook_token_);
+    wake_hook_token_ = 0;
+  }
 }
 
 ServerStats InferenceServer::stats() const {
   std::size_t inflight = 0;
+  std::size_t blocked = 0;
+  double backlog_ms = 0.0;
   {
     std::lock_guard lock(inflight_mutex_);
     inflight = inflight_;
+    blocked = blocked_submitters_;
+    backlog_ms = backlog_predicted_ms_;
   }
-  return stats_.snapshot(queue_.size(), inflight);
+  return stats_.snapshot(queue_.size(), inflight, blocked, backlog_ms);
 }
 
 const nn::WeightBank& InferenceServer::model_weights(ModelId model) const {

@@ -1,6 +1,7 @@
 #include "serve/stats.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 namespace wino::serve {
@@ -25,14 +26,15 @@ double percentile(std::vector<double>& samples, double q) {
 
 }  // namespace
 
-StatsRecorder::StatsRecorder(std::size_t max_batch)
-    : histogram_(max_batch + 1, 0) {}
+StatsRecorder::StatsRecorder(std::size_t max_batch,
+                             const runtime::ClockSource* clock)
+    : clock_(clock), histogram_(max_batch + 1, 0) {}
 
 void StatsRecorder::on_submit() {
   std::lock_guard lock(mutex_);
   ++submitted_;
   if (!any_submit_) {
-    first_submit_ = Clock::now();
+    first_submit_ = clock_->now();
     any_submit_ = true;
   }
 }
@@ -40,6 +42,16 @@ void StatsRecorder::on_submit() {
 void StatsRecorder::on_reject() {
   std::lock_guard lock(mutex_);
   ++rejected_;
+}
+
+void StatsRecorder::on_admission_reject() {
+  std::lock_guard lock(mutex_);
+  ++admission_rejected_;
+}
+
+void StatsRecorder::on_shed() {
+  std::lock_guard lock(mutex_);
+  ++shed_;
 }
 
 void StatsRecorder::on_batch(std::size_t batch_size) {
@@ -50,10 +62,11 @@ void StatsRecorder::on_batch(std::size_t batch_size) {
   ++histogram_[batch_size];
 }
 
-void StatsRecorder::on_complete(double latency_us) {
+void StatsRecorder::on_complete(double latency_us, bool late) {
   std::lock_guard lock(mutex_);
   ++completed_;
-  last_complete_ = Clock::now();
+  if (late) ++completed_late_;
+  last_complete_ = clock_->now();
   any_complete_ = true;
   if (latencies_us_.size() < kMaxLatencySamples) {
     latencies_us_.push_back(latency_us);
@@ -61,15 +74,22 @@ void StatsRecorder::on_complete(double latency_us) {
 }
 
 ServerStats StatsRecorder::snapshot(std::size_t queue_depth,
-                                    std::size_t inflight) const {
+                                    std::size_t inflight,
+                                    std::size_t blocked_submitters,
+                                    double backlog_predicted_ms) const {
   std::unique_lock lock(mutex_);
   ServerStats s;
   s.submitted = submitted_;
   s.rejected = rejected_;
+  s.admission_rejected = admission_rejected_;
   s.completed = completed_;
+  s.completed_late = completed_late_;
+  s.shed = shed_;
   s.batches = batches_;
   s.queue_depth = queue_depth;
   s.inflight = inflight;
+  s.blocked_submitters = blocked_submitters;
+  s.backlog_predicted_ms = backlog_predicted_ms;
   s.batch_size_histogram = histogram_;
   s.mean_batch_size =
       batches_ == 0 ? 0.0
@@ -87,6 +107,7 @@ ServerStats StatsRecorder::snapshot(std::size_t queue_depth,
 
   s.p50_latency_us = percentile(latencies, 0.50);
   s.p99_latency_us = percentile(latencies, 0.99);
+  s.p999_latency_us = percentile(latencies, 0.999);
   if (!latencies.empty()) {
     s.max_latency_us = *std::max_element(latencies.begin(), latencies.end());
   }

@@ -1,8 +1,15 @@
 // Serving-layer contract: the bounded MPMC queue primitive, dynamic
-// batcher coalescing, max_wait timeout flush, block-vs-reject
-// backpressure, drain-on-shutdown (no dropped futures), multi-model
-// isolation — and the acceptance-critical property that a served output
-// is bit-identical to direct nn::forward on the same image.
+// batcher coalescing, deadline-aware EDF scheduling (ordering, shedding,
+// starvation promotion), cost-based admission, max_wait timeout flush,
+// block-vs-reject backpressure, drain-on-shutdown (no dropped futures),
+// multi-model isolation — and the acceptance-critical property that a
+// served output is bit-identical to direct nn::forward on the same image,
+// whatever position EDF assembly gave its request.
+//
+// Every time-dependent scenario runs on a runtime::ManualClock: the test
+// scripts time explicitly (submit -> wait for the scheduler to pool the
+// requests -> advance), so there are no sleeps and no scheduler-dependent
+// flakiness — deterministic under TSan.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -17,16 +24,22 @@
 #include "common/random.hpp"
 #include "nn/forward.hpp"
 #include "runtime/bounded_queue.hpp"
+#include "runtime/clock.hpp"
 #include "serve/inference_server.hpp"
 #include "tensor/tensor.hpp"
 
 namespace {
 
 using wino::nn::ConvAlgo;
+using wino::runtime::ManualClock;
+using wino::serve::AdmissionRejected;
 using wino::serve::BackpressurePolicy;
+using wino::serve::BatchRequestInfo;
+using wino::serve::DeadlineMissed;
 using wino::serve::InferenceServer;
 using wino::serve::ServerConfig;
 using wino::serve::ServerOverloaded;
+using wino::serve::SubmitOptions;
 using wino::tensor::Tensor4f;
 
 /// A single tiny conv layer — enough model for the batching mechanics
@@ -55,8 +68,61 @@ bool bit_identical(const Tensor4f& a, const Tensor4f& b) {
                      a.size() * sizeof(float)) == 0;
 }
 
+/// Deterministic-clock test rig: counts requests reaching the batcher's
+/// pending pool and lets the test block until N have, which is the safe
+/// moment to advance the ManualClock (advancing earlier could catch some
+/// requests still in the submission queue and split a flush).
+class PendingBarrier {
+ public:
+  void arm(std::size_t target) {
+    std::lock_guard lock(mutex_);
+    target_ = target;
+    if (count_ >= target_) promise_.set_value();
+  }
+
+  std::function<void(wino::serve::ModelId, std::size_t)> observer() {
+    return [this](wino::serve::ModelId, std::size_t) {
+      std::lock_guard lock(mutex_);
+      ++count_;
+      if (target_ != 0 && count_ == target_) promise_.set_value();
+    };
+  }
+
+  void wait() { promise_.get_future().wait(); }
+
+ private:
+  std::mutex mutex_;
+  std::size_t count_ = 0;
+  std::size_t target_ = 0;
+  std::promise<void> promise_;
+};
+
+/// Collects assembled batches' request metadata in assembly order.
+class BatchLog {
+ public:
+  std::function<void(wino::serve::ModelId,
+                     const std::vector<BatchRequestInfo>&)>
+  observer() {
+    return [this](wino::serve::ModelId,
+                  const std::vector<BatchRequestInfo>& info) {
+      std::lock_guard lock(mutex_);
+      batches_.push_back(info);
+    };
+  }
+
+  std::vector<std::vector<BatchRequestInfo>> snapshot() {
+    std::lock_guard lock(mutex_);
+    return batches_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::vector<BatchRequestInfo>> batches_;
+};
+
 // ---------------------------------------------------------------------------
-// BoundedQueue primitive
+// BoundedQueue primitive (randomized MPMC stress lives in
+// tests/runtime_queue_test.cpp; these pin the single-threaded contract)
 // ---------------------------------------------------------------------------
 
 TEST(BoundedQueueTest, FifoOrderAndCapacity) {
@@ -92,8 +158,7 @@ TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
   wino::runtime::BoundedQueue<int> q(1);
   std::promise<bool> woke;
   std::thread consumer([&] { woke.set_value(!q.pop().has_value()); });
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  q.close();
+  q.close();  // wakes the consumer whether it parked yet or not
   EXPECT_TRUE(woke.get_future().get());
   consumer.join();
 }
@@ -128,10 +193,11 @@ TEST(StackImagesTest, RejectsMismatchedShapes) {
 // ---------------------------------------------------------------------------
 
 TEST(InferenceServerTest, CoalescesConcurrentSubmitsIntoFullBatches) {
+  ManualClock clock;  // time never moves: flushes can only come from
+                      // max_batch, whatever the CI machine is doing
   ServerConfig cfg;
   cfg.max_batch = 4;
-  cfg.max_wait_us = 5000000;  // 5 s — far beyond any plausible CI stall,
-                              // so flushes can only come from max_batch
+  cfg.clock = &clock;
   InferenceServer server(cfg);
   const auto model = server.add_model("tiny", tiny_model(),
                                       wino::nn::random_weights(tiny_model()),
@@ -151,8 +217,8 @@ TEST(InferenceServerTest, CoalescesConcurrentSubmitsIntoFullBatches) {
   const auto stats = server.stats();
   EXPECT_EQ(stats.submitted, kRequests);
   EXPECT_EQ(stats.completed, kRequests);
-  // With max_wait far beyond the test's runtime, the only flush trigger is
-  // a full batch: exactly two batches of four.
+  // With time frozen, the only flush trigger is a full batch: exactly two
+  // batches of four.
   EXPECT_EQ(stats.batches, 2u);
   ASSERT_GT(stats.batch_size_histogram.size(), 4u);
   EXPECT_EQ(stats.batch_size_histogram[4], 2u);
@@ -170,38 +236,219 @@ TEST(InferenceServerTest, FreshServerSnapshotReportsZeroedStats) {
   EXPECT_EQ(stats.submitted, 0u);
   EXPECT_DOUBLE_EQ(stats.p50_latency_us, 0.0);
   EXPECT_DOUBLE_EQ(stats.p99_latency_us, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p999_latency_us, 0.0);
   EXPECT_DOUBLE_EQ(stats.max_latency_us, 0.0);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.admission_rejected, 0u);
   server.shutdown();
 }
 
-TEST(InferenceServerTest, MaxWaitFlushesPartialBatch) {
+TEST(InferenceServerTest, MaxWaitFlushesPartialBatchOnManualClock) {
+  ManualClock clock;
+  PendingBarrier pooled;
   ServerConfig cfg;
-  cfg.max_batch = 8;         // never reached by 3 requests
-  cfg.max_wait_us = 20000;   // 20 ms timeout flush
+  cfg.max_batch = 8;        // never reached by 3 requests
+  cfg.max_wait_us = 20000;  // 20 ms of *scripted* time
+  cfg.clock = &clock;
+  cfg.pending_observer = pooled.observer();
   InferenceServer server(cfg);
   const auto model = server.add_model("tiny", tiny_model(),
                                       wino::nn::random_weights(tiny_model()),
                                       ConvAlgo::kIm2col);
 
+  pooled.arm(3);
   std::vector<std::future<Tensor4f>> futures;
   for (std::size_t i = 0; i < 3; ++i) {
     futures.push_back(server.submit(model, tiny_image(i)));
   }
-  for (auto& f : futures) {
-    ASSERT_EQ(f.wait_for(std::chrono::seconds(5)),
-              std::future_status::ready);
-    (void)f.get();
-  }
+  pooled.wait();  // all three are in the batcher's pool...
+  // ...and nothing has flushed: scripted time hasn't moved.
+  EXPECT_EQ(server.stats().batches, 0u);
+
+  clock.advance(std::chrono::microseconds(20001));  // past max_wait
+  for (auto& f : futures) (void)f.get();
 
   const auto stats = server.stats();
   EXPECT_EQ(stats.completed, 3u);
-  EXPECT_GE(stats.batches, 1u);
-  // No flush came from a full batch — every dispatched batch was partial.
-  for (std::size_t s = cfg.max_batch; s < stats.batch_size_histogram.size();
-       ++s) {
-    EXPECT_EQ(stats.batch_size_histogram[s], 0u);
-  }
+  EXPECT_EQ(stats.batches, 1u);  // one partial flush with all three
+  ASSERT_GT(stats.batch_size_histogram.size(), 3u);
+  EXPECT_EQ(stats.batch_size_histogram[3], 1u);
   server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// EDF scheduling, shedding, admission (all on the manual clock)
+// ---------------------------------------------------------------------------
+
+TEST(InferenceServerTest, EdfOrdersBatchByPriorityThenDeadline) {
+  ManualClock clock;
+  BatchLog log;
+  ServerConfig cfg;
+  cfg.max_batch = 4;  // the fourth submit triggers assembly
+  cfg.clock = &clock;
+  cfg.batch_detail_observer = log.observer();
+  InferenceServer server(cfg);
+  const auto model = server.add_model("tiny", tiny_model(),
+                                      wino::nn::random_weights(tiny_model()),
+                                      ConvAlgo::kIm2col);
+
+  // Arrival order 1..4; expected execution order:
+  //   tag 3 (priority 1), then within priority 0 by deadline: tag 4
+  //   (10 ms) before tag 2 (50 ms), best-effort tag 1 last.
+  std::vector<std::future<Tensor4f>> futures;
+  futures.push_back(server.submit(model, tiny_image(1), {.tag = 1}));
+  futures.push_back(
+      server.submit(model, tiny_image(2), {.deadline_us = 50000, .tag = 2}));
+  futures.push_back(
+      server.submit(model, tiny_image(3), {.priority = 1, .tag = 3}));
+  futures.push_back(
+      server.submit(model, tiny_image(4), {.deadline_us = 10000, .tag = 4}));
+  for (auto& f : futures) (void)f.get();
+
+  const auto batches = log.snapshot();
+  ASSERT_EQ(batches.size(), 1u);
+  ASSERT_EQ(batches[0].size(), 4u);
+  EXPECT_EQ(batches[0][0].tag, 3u);
+  EXPECT_EQ(batches[0][1].tag, 4u);
+  EXPECT_EQ(batches[0][2].tag, 2u);
+  EXPECT_EQ(batches[0][3].tag, 1u);
+  EXPECT_EQ(server.stats().shed, 0u);
+  server.shutdown();
+}
+
+TEST(InferenceServerTest, ShedsRequestsWhoseDeadlinePassed) {
+  ManualClock clock;
+  PendingBarrier pooled;
+  ServerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 100000;  // flush trigger far beyond the deadlines
+  cfg.clock = &clock;
+  cfg.pending_observer = pooled.observer();
+  InferenceServer server(cfg);
+  const auto model = server.add_model("tiny", tiny_model(),
+                                      wino::nn::random_weights(tiny_model()),
+                                      ConvAlgo::kIm2col);
+
+  pooled.arm(2);
+  auto doomed = server.submit(model, tiny_image(1), {.deadline_us = 2000});
+  auto survivor =
+      server.submit(model, tiny_image(2), {.deadline_us = 500000});
+  pooled.wait();
+
+  clock.advance(std::chrono::milliseconds(3));  // past the 2 ms deadline
+  EXPECT_THROW((void)doomed.get(), DeadlineMissed);
+
+  server.shutdown();  // flushes the survivor
+  EXPECT_NO_THROW((void)survivor.get());
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.inflight, 0u);
+}
+
+TEST(InferenceServerTest, ShedsPredictedlyInfeasibleRequestUpFront) {
+  ManualClock clock;
+  ServerConfig cfg;
+  cfg.max_wait_us = 1000000;  // 1 s: launch-by, not max_wait, dispatches
+  cfg.clock = &clock;
+  InferenceServer server(cfg);
+  // A plan that predicts 10 ms per request: a 5 ms deadline is infeasible
+  // the moment the scheduler sees it — shed without advancing time at all.
+  auto plan = wino::nn::uniform_plan(tiny_model(), ConvAlgo::kIm2col);
+  plan.predicted_total_ms = 10.0;
+  const auto model = server.add_model(
+      "tiny", std::move(plan), wino::nn::random_weights(tiny_model()));
+
+  auto infeasible =
+      server.submit(model, tiny_image(1), {.deadline_us = 5000});
+  EXPECT_THROW((void)infeasible.get(), DeadlineMissed);
+  // A deadline with headroom (50 ms > 10 ms predicted) is dispatched at
+  // its launch-by point — deadline minus predicted cost — instead of
+  // waiting out max_wait. At exactly launch-by the predicted completion
+  // lands exactly on the deadline, which still counts as feasible
+  // (shedding is strict), so the request executes.
+  auto feasible =
+      server.submit(model, tiny_image(2), {.deadline_us = 50000});
+  clock.advance(std::chrono::milliseconds(40));  // launch-by = 50 - 10
+  EXPECT_NO_THROW((void)feasible.get());
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  server.shutdown();
+}
+
+TEST(InferenceServerTest, AdmissionBudgetRejectsPredictedOverload) {
+  ManualClock clock;
+  ServerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 1000000;  // requests pool; backlog stays resident
+  cfg.admission_budget_ms = 25.0;
+  cfg.clock = &clock;
+  InferenceServer server(cfg);
+  auto plan = wino::nn::uniform_plan(tiny_model(), ConvAlgo::kIm2col);
+  plan.predicted_total_ms = 10.0;
+  const auto model = server.add_model(
+      "tiny", std::move(plan), wino::nn::random_weights(tiny_model()));
+
+  auto f1 = server.submit(model, tiny_image(1));  // backlog 10 ms
+  auto f2 = server.submit(model, tiny_image(2));  // backlog 20 ms
+  // 30 ms > 25 ms budget: rejected at submit with the distinct outcome.
+  EXPECT_THROW((void)server.submit(model, tiny_image(3)), AdmissionRejected);
+
+  auto stats = server.stats();
+  EXPECT_EQ(stats.admission_rejected, 1u);
+  EXPECT_EQ(stats.rejected, 0u);  // capacity rejections are a separate count
+  EXPECT_DOUBLE_EQ(stats.backlog_predicted_ms, 20.0);
+
+  server.shutdown();  // completes the two admitted requests
+  EXPECT_NO_THROW((void)f1.get());
+  EXPECT_NO_THROW((void)f2.get());
+  stats = server.stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_DOUBLE_EQ(stats.backlog_predicted_ms, 0.0);  // released on finish
+}
+
+TEST(InferenceServerTest, StarvationBoundPromotesBestEffortRequest) {
+  ManualClock clock;
+  PendingBarrier pooled;
+  BatchLog log;
+  ServerConfig cfg;
+  cfg.max_batch = 2;
+  cfg.max_wait_us = 100000;        // 100 ms
+  cfg.starvation_bound_us = 50000;  // promoted after 50 ms
+  cfg.clock = &clock;
+  cfg.pending_observer = pooled.observer();
+  cfg.batch_detail_observer = log.observer();
+  InferenceServer server(cfg);
+  const auto model = server.add_model("tiny", tiny_model(),
+                                      wino::nn::random_weights(tiny_model()),
+                                      ConvAlgo::kIm2col);
+
+  // A best-effort request waits alone past the starvation bound...
+  pooled.arm(1);
+  auto best_effort = server.submit(model, tiny_image(1), {.tag = 1});
+  pooled.wait();
+  clock.advance(std::chrono::milliseconds(60));
+
+  // ...then urgent traffic arrives. Without promotion the priority-1
+  // requests would fill the batch ahead of it; the starved request must
+  // lead the next assembly instead.
+  auto urgent1 =
+      server.submit(model, tiny_image(2), {.priority = 1, .tag = 2});
+  auto urgent2 =
+      server.submit(model, tiny_image(3), {.priority = 1, .tag = 3});
+  (void)best_effort.get();
+  (void)urgent1.get();
+
+  const auto batches = log.snapshot();
+  ASSERT_GE(batches.size(), 1u);
+  ASSERT_EQ(batches[0].size(), 2u);
+  EXPECT_EQ(batches[0][0].tag, 1u);  // promoted past both priority-1 peers
+  EXPECT_EQ(batches[0][1].tag, 2u);
+  server.shutdown();
+  EXPECT_NO_THROW((void)urgent2.get());
 }
 
 // ---------------------------------------------------------------------------
@@ -209,11 +456,12 @@ TEST(InferenceServerTest, MaxWaitFlushesPartialBatch) {
 // ---------------------------------------------------------------------------
 
 TEST(InferenceServerTest, RejectPolicyThrowsAtMaxInflight) {
+  ManualClock clock;  // frozen time: pending requests sit in the batcher
   ServerConfig cfg;
   cfg.max_batch = 4;
-  cfg.max_wait_us = 1000000;  // pending requests sit in the batcher window
   cfg.max_inflight = 2;
   cfg.backpressure = BackpressurePolicy::kReject;
+  cfg.clock = &clock;
   InferenceServer server(cfg);
   const auto model = server.add_model("tiny", tiny_model(),
                                       wino::nn::random_weights(tiny_model()),
@@ -221,8 +469,8 @@ TEST(InferenceServerTest, RejectPolicyThrowsAtMaxInflight) {
 
   auto f1 = server.submit(model, tiny_image(1));
   auto f2 = server.submit(model, tiny_image(2));
-  // Neither request can complete (batch of 4 never fills, 1 s deadline far
-  // away), so the third submit deterministically hits the bound.
+  // Neither request can complete (batch of 4 never fills, time never
+  // moves), so the third submit deterministically hits the bound.
   EXPECT_THROW((void)server.submit(model, tiny_image(3)), ServerOverloaded);
   EXPECT_EQ(server.stats().rejected, 1u);
 
@@ -232,12 +480,13 @@ TEST(InferenceServerTest, RejectPolicyThrowsAtMaxInflight) {
 }
 
 TEST(InferenceServerTest, BlockPolicyWaitsForCapacity) {
+  ManualClock clock;
   std::counting_semaphore<8> gate(0);
   ServerConfig cfg;
   cfg.max_batch = 2;
-  cfg.max_wait_us = 20000;
   cfg.max_inflight = 2;
   cfg.backpressure = BackpressurePolicy::kBlock;
+  cfg.clock = &clock;
   cfg.batch_observer = [&](wino::serve::ModelId, std::size_t) {
     gate.acquire();  // freeze the worker until the test releases it
   };
@@ -256,21 +505,23 @@ TEST(InferenceServerTest, BlockPolicyWaitsForCapacity) {
     f3 = server.submit(model, tiny_image(3));
     third_admitted = true;
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(30));
-  // Still blocked: capacity can only free when the frozen batch completes.
+  // The blocked_submitters gauge turning 1 *is* the "submitter is parked"
+  // event — no sleep-and-hope: the loop exits exactly when the submitter
+  // has entered the backpressure wait, and can't exit any earlier.
+  while (server.stats().blocked_submitters != 1) std::this_thread::yield();
   EXPECT_FALSE(third_admitted.load());
 
-  // Generous release: if a scheduling stall split the first two submits
-  // into separate timeout-flushed batches, more than two batches need
-  // unfreezing — never leave a token short (the test would hang).
+  // Generous release: every dispatched batch (including the third
+  // request's own, flushed by shutdown below) needs a token — never leave
+  // one short (the test would hang).
   gate.release(8);
   blocked.join();
   EXPECT_TRUE(third_admitted.load());
   EXPECT_NO_THROW((void)f1.get());
   EXPECT_NO_THROW((void)f2.get());
-  EXPECT_NO_THROW((void)f3.get());
   EXPECT_EQ(server.stats().rejected, 0u);
-  server.shutdown();
+  server.shutdown();  // flushes the third request's partial batch
+  EXPECT_NO_THROW((void)f3.get());
 }
 
 // ---------------------------------------------------------------------------
@@ -278,9 +529,10 @@ TEST(InferenceServerTest, BlockPolicyWaitsForCapacity) {
 // ---------------------------------------------------------------------------
 
 TEST(InferenceServerTest, ShutdownDrainsPendingWithoutDroppingFutures) {
+  ManualClock clock;  // frozen: nothing flushes on its own
   ServerConfig cfg;
   cfg.max_batch = 16;
-  cfg.max_wait_us = 10000000;  // 10 s: nothing flushes on its own
+  cfg.clock = &clock;
   InferenceServer server(cfg);
   const auto model = server.add_model("tiny", tiny_model(),
                                       wino::nn::random_weights(tiny_model()),
@@ -396,9 +648,16 @@ TEST(InferenceServerTest, ServedOutputsBitIdenticalToDirectForward) {
   const auto model =
       server.add_model("vgg", layers, weights, ConvAlgo::kWinograd2);
 
+  // Mixed priorities and deadlines make EDF genuinely reorder requests
+  // inside their batches — the bit-identity contract must hold through
+  // any assembly order (each image is computed independently).
   std::vector<std::future<Tensor4f>> futures;
-  for (const Tensor4f& img : images) {
-    futures.push_back(server.submit(model, img));
+  for (std::size_t i = 0; i < kImages; ++i) {
+    SubmitOptions opt;
+    opt.priority = static_cast<int>(i % 3);
+    opt.deadline_us = (i % 2 == 0) ? 5000000 - i * 100000 : 0;
+    opt.tag = i;
+    futures.push_back(server.submit(model, images[i], opt));
   }
   for (std::size_t i = 0; i < kImages; ++i) {
     const Tensor4f served = futures[i].get();
@@ -407,6 +666,7 @@ TEST(InferenceServerTest, ServedOutputsBitIdenticalToDirectForward) {
   }
   // The point of batching: requests actually shared batches.
   EXPECT_LT(server.stats().batches, kImages);
+  EXPECT_EQ(server.stats().shed, 0u);
   server.shutdown();
 }
 
