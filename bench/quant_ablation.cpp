@@ -1,0 +1,293 @@
+// Ablation E — int8 quantized inference vs the best uniform fp32 plan.
+//
+// The planner's quality axis in action: calibrate activation statistics on
+// a sample batch, hand plan_execution an error budget plus the int8
+// candidates (im2col GEMM and error-model-gated Winograd), and race the
+// resulting mixed-precision plan against every uniform fp32 plan — same
+// executor, same caches, interleaved paired reps so drift cancels. Three
+// verdicts ride in the JSON for CI:
+//
+//   * speedup_quant_vs_fp32  — quantized plan vs the BEST uniform fp32
+//     plan (the planner may keep layers fp32 where int8 loses, so >= 1.0
+//     up to noise by construction; the gate pins it);
+//   * under_budget           — observed end-to-end max relative error vs
+//     the all-fp32 network stays within the planner's budget (the
+//     error-model contract, measured rather than predicted);
+//   * bit_identical / bit_identical_across_threads — the quantized plan
+//     reproduces the per-layer reference composition exactly, at 1/2/7
+//     threads (int8 accumulation is exact in int32, so determinism is
+//     bitwise, not approximate).
+//
+// Emits BENCH_quant.json next to the binary (or at --out); gated by
+// bench/baselines/BENCH_quant_baseline.json.
+//
+// Usage: quant_ablation [--quick] [--out <path>]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/bench_io.hpp"
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "nn/forward.hpp"
+#include "nn/plan.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using wino::tensor::Tensor4f;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double median(std::vector<double> samples) {
+  const auto mid =
+      samples.begin() + static_cast<std::ptrdiff_t>(samples.size() / 2);
+  std::nth_element(samples.begin(), mid, samples.end());
+  return *mid;
+}
+
+bool same_bits(const Tensor4f& a, const Tensor4f& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.flat().data(), b.flat().data(),
+                     a.flat().size() * sizeof(float)) == 0;
+}
+
+double rel_max_error(const Tensor4f& got, const Tensor4f& ref) {
+  double max_diff = 0;
+  double max_ref = 0;
+  const auto g = got.flat();
+  const auto r = ref.flat();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    max_diff = std::max(
+        max_diff, static_cast<double>(std::abs(g[i] - r[i])));
+    max_ref = std::max(max_ref, static_cast<double>(std::abs(r[i])));
+  }
+  return max_ref > 0 ? max_diff / max_ref : max_diff;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!wino::common::validate_bench_args(
+          argc, argv, {"--quick"}, {},
+          "quant_ablation [--quick] [--out <path>]")) {
+    return 2;
+  }
+  const bool quick = wino::common::has_flag(argc, argv, "--quick");
+
+  const std::size_t scale = quick ? 14 : 7;
+  const std::size_t hw = 224 / scale;
+  const auto layers = wino::nn::vgg16_d_scaled(scale, 8);
+  const auto weights = wino::nn::random_weights(layers, 7);
+  const std::size_t batch = 8;
+  const int reps = quick ? 7 : 9;  // plus one discarded cold rep
+  const double budget = 0.1;
+
+  wino::common::Rng rng(11);
+  Tensor4f input(batch, 3, hw, hw);
+  rng.fill_uniform(input.flat(), -1.0F, 1.0F);
+  Tensor4f sample(2, 3, hw, hw);
+  rng.fill_uniform(sample.flat(), -1.0F, 1.0F);
+
+  // The quantized plan: measured per-layer scoring (the default), an
+  // error budget, activation statistics from the calibration sample, and
+  // the int8 candidates alongside the fp32 ones.
+  wino::nn::PlannerOptions opts;
+  opts.batch = batch;
+  opts.quant = wino::nn::calibrate_activations(layers, weights, sample);
+  opts.constraints.max_rel_error = budget;
+  opts.candidates = {
+      wino::nn::ConvAlgo::kIm2col, wino::nn::ConvAlgo::kWinograd2,
+      wino::nn::ConvAlgo::kWinograd3, wino::nn::ConvAlgo::kWinograd4};
+  for (const auto algo : wino::nn::quantized_candidates()) {
+    opts.candidates.push_back(algo);
+  }
+  const wino::nn::ExecutionPlan plan =
+      wino::nn::plan_execution(layers, opts);
+
+  const std::vector<wino::nn::ConvAlgo> uniform_algos = {
+      wino::nn::ConvAlgo::kIm2col, wino::nn::ConvAlgo::kWinograd2,
+      wino::nn::ConvAlgo::kWinograd3, wino::nn::ConvAlgo::kWinograd4};
+
+  std::printf("quant_ablation — int8 quantized plan (budget %.2f) vs best "
+              "uniform fp32\nscaled VGG16-D (%zux%zu input, batch %zu), %d "
+              "interleaved reps, %zu threads\n\n",
+              budget, hw, hw, batch, reps,
+              wino::runtime::ThreadPool::global().threads());
+
+  wino::common::TextTable plan_table;
+  plan_table.header({"layer", "planned algo", "act scale", "predicted ms"});
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    if (layers[i].kind != wino::nn::LayerKind::kConv) continue;
+    const auto& step = plan.steps[i];
+    plan_table.row(
+        {layers[i].conv.name, wino::nn::to_string(step.algo),
+         step.act_scale > 0
+             ? wino::common::TextTable::num(step.act_scale, 5)
+             : "-",
+         wino::common::TextTable::num(step.predicted_ms, 3)});
+  }
+  plan_table.print();
+  std::printf("\nplan: %zu int8 conv layers, predicted max rel error %.4f "
+              "(budget %.2f)\n\n",
+              plan.int8_layers, plan.predicted_max_rel_error, budget);
+
+  // Index 0 is the quantized plan; the rest are the fp32 uniforms it
+  // races.
+  std::vector<wino::nn::ExecutionPlan> modes{plan};
+  std::vector<std::string> mode_names{"quantized"};
+  for (const auto algo : uniform_algos) {
+    modes.push_back(wino::nn::uniform_plan(layers, algo));
+    mode_names.push_back(wino::nn::to_string(algo));
+  }
+
+  // Warm every mode (filter transforms and quantized banks land in the
+  // cross-call caches, workspace slabs hit their high-water marks).
+  for (const auto& m : modes) {
+    (void)wino::nn::forward(m, weights, input);
+  }
+
+  // Interleaved reps with rotating order; the cold rep is discarded.
+  std::vector<std::vector<double>> secs(modes.size());
+  Tensor4f quant_out;
+  for (int rep = 0; rep <= reps; ++rep) {
+    std::vector<double> this_rep(modes.size(), 0.0);
+    for (std::size_t off = 0; off < modes.size(); ++off) {
+      const std::size_t mode =
+          (off + static_cast<std::size_t>(rep)) % modes.size();
+      const auto t0 = Clock::now();
+      Tensor4f out = wino::nn::forward(modes[mode], weights, input);
+      this_rep[mode] = seconds_since(t0);
+      if (mode == 0) quant_out = std::move(out);
+    }
+    if (rep == 0) continue;
+    for (std::size_t mode = 0; mode < modes.size(); ++mode) {
+      secs[mode].push_back(this_rep[mode]);
+    }
+  }
+
+  // Determinism verdicts: the executor must reproduce the per-layer
+  // reference composition bit-for-bit, and the result must not depend on
+  // the thread count.
+  const Tensor4f reference =
+      wino::nn::forward_reference(plan, weights, input);
+  const bool bit_identical = same_bits(reference, quant_out);
+  bool threads_identical = true;
+  const std::size_t saved_threads =
+      wino::runtime::ThreadPool::global().threads();
+  for (const std::size_t threads : {1U, 2U, 7U}) {
+    wino::runtime::ThreadPool::set_global_threads(threads);
+    threads_identical =
+        threads_identical &&
+        same_bits(wino::nn::forward(plan, weights, input), quant_out);
+  }
+  wino::runtime::ThreadPool::set_global_threads(saved_threads);
+
+  // Accuracy verdict: quantized network vs the all-fp32 one.
+  const Tensor4f fp32_out =
+      wino::nn::forward(modes[1], weights, input);
+  const double observed_err = rel_max_error(quant_out, fp32_out);
+  const bool under_budget = observed_err <= budget;
+
+  const double quant_ms = median(secs[0]) * 1e3;
+  wino::common::TextTable results;
+  results.header({"mode", "median ms", "img/s", "quantized speedup"});
+  results.row({"quantized", wino::common::TextTable::num(quant_ms, 2),
+               wino::common::TextTable::num(
+                   static_cast<double>(batch) / (quant_ms / 1e3)),
+               "1.00"});
+  double best_speedup = 1e30;
+  std::string best_uniform = "-";
+  std::vector<double> uniform_ms(modes.size(), 0.0);
+  std::vector<double> uniform_speedup(modes.size(), 0.0);
+  for (std::size_t mode = 1; mode < modes.size(); ++mode) {
+    uniform_ms[mode] = median(secs[mode]) * 1e3;
+    std::vector<double> ratios;
+    for (std::size_t rep = 0; rep < secs[mode].size(); ++rep) {
+      ratios.push_back(secs[mode][rep] / secs[0][rep]);
+    }
+    uniform_speedup[mode] = median(ratios);
+    if (uniform_speedup[mode] < best_speedup) {
+      best_speedup = uniform_speedup[mode];
+      best_uniform = mode_names[mode];
+    }
+    results.row({mode_names[mode],
+                 wino::common::TextTable::num(uniform_ms[mode], 2),
+                 wino::common::TextTable::num(
+                     static_cast<double>(batch) / (uniform_ms[mode] / 1e3)),
+                 wino::common::TextTable::num(uniform_speedup[mode])});
+  }
+  results.print();
+
+  std::printf("\nquantized vs best uniform fp32 (%s): %.3fx; observed rel "
+              "error %.4f (budget %.2f, %s); reference composition: %s; "
+              "threads 1/2/7: %s\n",
+              best_uniform.c_str(), best_speedup, observed_err, budget,
+              under_budget ? "under" : "OVER — error-model regression",
+              bit_identical ? "bit-identical" : "MISMATCH",
+              threads_identical ? "bit-identical" : "MISMATCH");
+  if (!bit_identical || !threads_identical) return 1;
+
+  // --- BENCH_quant.json ----------------------------------------------------
+  const std::string json_path =
+      wino::common::bench_output_path(argc, argv, "BENCH_quant.json");
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::printf("warning: could not open %s for writing\n",
+                json_path.c_str());
+    return 0;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"quant\",\n  \"quick\": %s,\n"
+               "  \"model\": \"vgg16-d-scaled-%zu\",\n  \"batch\": %zu,\n"
+               "  \"reps\": %d,\n  \"budget_max_rel_error\": %.4f,\n"
+               "  \"plan\": {\"int8_layers\": %zu,\n"
+               "    \"predicted_max_rel_error\": %.6f,\n    \"layers\": [\n",
+               quick ? "true" : "false", scale, batch, reps, budget,
+               plan.int8_layers, plan.predicted_max_rel_error);
+  bool first_layer = true;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    if (layers[i].kind != wino::nn::LayerKind::kConv) continue;
+    std::fprintf(json,
+                 "%s      {\"layer\": \"%s\", \"algo\": \"%s\", "
+                 "\"act_scale\": %.6f}",
+                 first_layer ? "" : ",\n", layers[i].conv.name.c_str(),
+                 wino::nn::to_string(plan.steps[i].algo).c_str(),
+                 static_cast<double>(plan.steps[i].act_scale));
+    first_layer = false;
+  }
+  std::fprintf(json, "\n    ]},\n  \"quantized_ms\": %.4f,\n"
+                     "  \"quantized_img_per_s\": %.4f,\n  \"uniform\": [\n",
+               quant_ms, static_cast<double>(batch) / (quant_ms / 1e3));
+  for (std::size_t mode = 1; mode < modes.size(); ++mode) {
+    std::fprintf(json,
+                 "    {\"algo\": \"%s\", \"median_ms\": %.4f, "
+                 "\"img_per_s\": %.4f, \"speedup_quant_vs_this\": %.4f}%s\n",
+                 mode_names[mode].c_str(), uniform_ms[mode],
+                 static_cast<double>(batch) / (uniform_ms[mode] / 1e3),
+                 uniform_speedup[mode],
+                 mode + 1 < modes.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n  \"best_uniform_algo\": \"%s\",\n"
+               "  \"speedup_quant_vs_fp32\": %.4f,\n"
+               "  \"observed_rel_error\": %.6f,\n"
+               "  \"under_budget\": %s,\n"
+               "  \"bit_identical\": %s,\n"
+               "  \"bit_identical_across_threads\": %s\n}\n",
+               best_uniform.c_str(), best_speedup, observed_err,
+               under_budget ? "true" : "false",
+               bit_identical ? "true" : "false",
+               threads_identical ? "true" : "false");
+  std::fclose(json);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -93,10 +93,11 @@ std::string calibration_cpu_signature() {
 }
 
 std::string calibration_code_hash() {
-  // "planner-v1": bump when probe shapes / timing methodology / cost-model
-  // semantics change. __VERSION__ folds the compiler in — different
-  // codegen, different measured rates.
-  return std::string("planner-v1 | ") + __VERSION__;
+  // "planner-v2": bump when probe shapes / timing methodology / cost-model
+  // semantics change (v2: int8 algos entered the layer-time key space).
+  // __VERSION__ folds the compiler in — different codegen, different
+  // measured rates.
+  return std::string("planner-v2 | ") + __VERSION__;
 }
 
 bool save_measured_state(const std::string& path) {
@@ -190,7 +191,9 @@ bool load_measured_state(const std::string& path) {
           !parse_size(salgo, algo) || !parse_double(ssecs, t.seconds)) {
         return false;
       }
-      if (algo > static_cast<std::size_t>(ConvAlgo::kWinograd4)) return false;
+      if (algo > static_cast<std::size_t>(ConvAlgo::kInt8Winograd4)) {
+        return false;
+      }
       if (!(t.seconds > 0)) return false;
       t.pad = static_cast<int>(pad);
       t.algo = static_cast<ConvAlgo>(algo);

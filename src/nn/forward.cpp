@@ -15,6 +15,7 @@
 #include "conv/im2col.hpp"
 #include "conv/spatial.hpp"
 #include "nn/plan.hpp"
+#include "quant/int8.hpp"
 #include "runtime/thread_pool.hpp"
 #include "winograd/kernels.hpp"
 
@@ -29,6 +30,28 @@ int winograd_m(ConvAlgo algo) {
     case ConvAlgo::kWinograd3:
       return 3;
     case ConvAlgo::kWinograd4:
+      return 4;
+    default:
+      return 0;
+  }
+}
+
+bool is_int8(ConvAlgo algo) {
+  switch (algo) {
+    case ConvAlgo::kInt8Im2col:
+    case ConvAlgo::kInt8Winograd2:
+    case ConvAlgo::kInt8Winograd4:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int int8_winograd_m(ConvAlgo algo) {
+  switch (algo) {
+    case ConvAlgo::kInt8Winograd2:
+      return 2;
+    case ConvAlgo::kInt8Winograd4:
       return 4;
     default:
       return 0;
@@ -123,6 +146,71 @@ TransformCache& transform_cache() {
   return cache;
 }
 
+/// One cached per-layer quantized kernel prep: the spatial-domain int8
+/// bank (m == 0, the im2col form) or the transform-domain int8 bank plus
+/// its transformer (m > 0). Immutable after construction, shared
+/// read-only across threads — the quantized sibling of CachedTransforms.
+struct CachedQuantKernels {
+  // Exactly one of {filter} / {xf, wino} is engaged, by key.m.
+  std::unique_ptr<const quant::QuantizedFilter> filter;
+  std::unique_ptr<const winograd::TileTransformer> xf;
+  std::unique_ptr<const quant::QuantizedWinogradKernels> wino;
+
+  CachedQuantKernels(int m, const Tensor4f& kernels) {
+    if (m == 0) {
+      filter = std::make_unique<const quant::QuantizedFilter>(
+          quant::quantize_filters(kernels));
+    } else {
+      xf = std::make_unique<const winograd::TileTransformer>(
+          winograd::transforms(m, static_cast<int>(kernels.shape().h)));
+      wino = std::make_unique<const quant::QuantizedWinogradKernels>(
+          quant::quantize_winograd_kernels(*xf, kernels));
+    }
+  }
+};
+
+/// Process-wide cache of quantized kernel banks, keyed like the fp32
+/// transform cache: (weights version, layer, m-or-0, r). Weight
+/// quantization happens once per frozen model, not per forward call —
+/// the "per-channel weight scales computed at model registration"
+/// contract (prewarm_transforms warms this at add_model time).
+class QuantKernelCache {
+ public:
+  std::shared_ptr<const CachedQuantKernels> get(const TransformKey& key,
+                                                const Tensor4f& kernels) {
+    std::lock_guard lock(mutex_);
+    if (auto it = map_.find(key); it != map_.end()) return it->second;
+    auto entry = std::make_shared<const CachedQuantKernels>(key.m, kernels);
+    map_.emplace(key, entry);
+    order_.push_back(key);
+    while (order_.size() > kMaxEntries) {
+      map_.erase(order_.front());
+      order_.pop_front();
+    }
+    return entry;
+  }
+
+  void clear() {
+    std::lock_guard lock(mutex_);
+    map_.clear();
+    order_.clear();
+  }
+
+ private:
+  static constexpr std::size_t kMaxEntries = 256;
+
+  std::mutex mutex_;
+  std::unordered_map<TransformKey, std::shared_ptr<const CachedQuantKernels>,
+                     TransformKeyHash>
+      map_;
+  std::deque<TransformKey> order_;
+};
+
+QuantKernelCache& quant_cache() {
+  static QuantKernelCache cache;
+  return cache;
+}
+
 }  // namespace
 
 std::uint64_t next_weight_version() {
@@ -134,7 +222,10 @@ TransformCacheStats transform_cache_stats() {
   return transform_cache().stats();
 }
 
-void clear_transform_cache() { transform_cache().clear(); }
+void clear_transform_cache() {
+  transform_cache().clear();
+  quant_cache().clear();
+}
 
 std::string to_string(ConvAlgo algo) {
   switch (algo) {
@@ -150,6 +241,12 @@ std::string to_string(ConvAlgo algo) {
       return "winograd-F(3x3,3x3)";
     case ConvAlgo::kWinograd4:
       return "winograd-F(4x4,3x3)";
+    case ConvAlgo::kInt8Im2col:
+      return "int8-im2col";
+    case ConvAlgo::kInt8Winograd2:
+      return "int8-winograd-F(2x2,3x3)";
+    case ConvAlgo::kInt8Winograd4:
+      return "int8-winograd-F(4x4,3x3)";
   }
   return "unknown";
 }
@@ -157,19 +254,29 @@ std::string to_string(ConvAlgo algo) {
 ConvAlgo parse_conv_algo(const std::string& name) {
   for (const ConvAlgo algo :
        {ConvAlgo::kSpatial, ConvAlgo::kIm2col, ConvAlgo::kFft,
-        ConvAlgo::kWinograd2, ConvAlgo::kWinograd3, ConvAlgo::kWinograd4}) {
+        ConvAlgo::kWinograd2, ConvAlgo::kWinograd3, ConvAlgo::kWinograd4,
+        ConvAlgo::kInt8Im2col, ConvAlgo::kInt8Winograd2,
+        ConvAlgo::kInt8Winograd4}) {
     if (name == to_string(algo)) return algo;
   }
   if (name == "winograd2" || name == "w2") return ConvAlgo::kWinograd2;
   if (name == "winograd3" || name == "w3") return ConvAlgo::kWinograd3;
   if (name == "winograd4" || name == "w4") return ConvAlgo::kWinograd4;
+  if (name == "int8" || name == "i8") return ConvAlgo::kInt8Im2col;
+  if (name == "int8-winograd2" || name == "i8w2") {
+    return ConvAlgo::kInt8Winograd2;
+  }
+  if (name == "int8-winograd4" || name == "i8w4") {
+    return ConvAlgo::kInt8Winograd4;
+  }
   throw std::invalid_argument(
       "parse_conv_algo: unknown algorithm '" + name +
-      "' (expected spatial, im2col, fft, or winograd2/3/4)");
+      "' (expected spatial, im2col, fft, winograd2/3/4, int8, or "
+      "int8-winograd2/4)");
 }
 
 Tensor4f run_conv(ConvAlgo algo, const Tensor4f& input,
-                  const Tensor4f& kernels, int pad) {
+                  const Tensor4f& kernels, int pad, float act_scale) {
   const conv::SpatialConvOptions sopt{.pad = pad, .stride = 1};
   winograd::WinogradConvOptions wopt;
   wopt.pad = pad;
@@ -186,8 +293,19 @@ Tensor4f run_conv(ConvAlgo algo, const Tensor4f& input,
       return winograd::conv2d_winograd(input, kernels, 3, wopt);
     case ConvAlgo::kWinograd4:
       return winograd::conv2d_winograd(input, kernels, 4, wopt);
+    case ConvAlgo::kInt8Im2col:
+      return quant::conv2d_im2col_int8(input, kernels, pad, act_scale);
+    case ConvAlgo::kInt8Winograd2:
+      return quant::conv2d_winograd_int8(input, kernels, 2, pad, act_scale);
+    case ConvAlgo::kInt8Winograd4:
+      return quant::conv2d_winograd_int8(input, kernels, 4, pad, act_scale);
   }
   throw std::invalid_argument("run_conv: unknown algorithm");
+}
+
+Tensor4f run_conv(ConvAlgo algo, const Tensor4f& input,
+                  const Tensor4f& kernels, int pad) {
+  return run_conv(algo, input, kernels, pad, 0.0F);
 }
 
 void relu_inplace(Tensor4f& t) {
@@ -457,9 +575,48 @@ void forward_plan_ws(const ExecutionPlan& plan, const MemoryPlan& mp,
                        kcount, inner, cols);
           }
           for (float& v : obuf) v = v > 0.0F ? v : 0.0F;
+        } else if (is_int8(step.algo) &&
+                   cur_layout.kind == LayoutKind::kNCHW &&
+                   ol.kind == LayoutKind::kNCHW) {
+          // Quantized fast path: the int8 banks come from the cross-call
+          // quant cache (weights quantized once per frozen model), the
+          // int8 cores read the slab-backed NCHW activation through a
+          // view and dequantize straight into the output activation with
+          // ReLU fused into the store — max(0, x) on the same value the
+          // unfused composition would produce. The activation scale is
+          // the plan's static calibration scale (or per-image when the
+          // plan carries none), so batching and threading cannot perturb
+          // results.
+          const auto entry = quant_cache().get(
+              {weights.version, conv_idx, int8_winograd_m(step.algo),
+               kern.shape().h},
+              kern);
+          ByteCarver carver(ws.buffer_bytes(
+              static_cast<std::size_t>(mp.step_scratch[li])));
+          const tensor::Tensor4fView view(cur_layout.shape, cur);
+          if (step.algo == ConvAlgo::kInt8Im2col) {
+            const quant::QuantIm2colScratch scratch =
+                carve_quant_im2col_scratch(carver, entry->filter->inner(),
+                                           ol.shape.h * ol.shape.w,
+                                           entry->filter->kernels);
+            quant::conv2d_im2col_int8_into(view, *entry->filter, l.conv.pad,
+                                           step.act_scale, /*fuse_relu=*/true,
+                                           obuf, scratch);
+          } else {
+            const quant::QuantWinogradScratch scratch =
+                carve_quant_winograd_scratch(
+                    carver, cur_layout.shape.c,
+                    static_cast<std::size_t>(entry->xf->tile()),
+                    static_cast<std::size_t>(entry->xf->m()));
+            quant::conv2d_winograd_int8_into(view, *entry->wino, *entry->xf,
+                                             l.conv.pad, step.act_scale,
+                                             /*fuse_relu=*/true, obuf,
+                                             scratch);
+          }
         } else {
           const Tensor4f in_t = materialize_nchw(cur_layout, cur);
-          Tensor4f out_t = run_conv(step.algo, in_t, kern, l.conv.pad);
+          Tensor4f out_t =
+              run_conv(step.algo, in_t, kern, l.conv.pad, step.act_scale);
           relu_inplace(out_t);
           store_activation(out_t, ol, obuf);
         }
@@ -550,15 +707,24 @@ void prewarm_transforms(const std::vector<LayerSpec>& layers,
 
 /// Plan-aware prewarm: the cache key already carries a per-layer m, so a
 /// mixed-m plan simply warms each conv layer's own (layer, m, r) entry.
+/// Quantized layers warm the int8 bank cache instead — this is where
+/// "per-channel weight scales computed at model registration" happens
+/// (serve::InferenceServer::add_model calls prewarm_workspaces, which
+/// lands here before the first request).
 void prewarm_transforms(const ExecutionPlan& plan, const WeightBank& weights) {
   std::size_t conv_idx = 0;
   for (std::size_t li = 0; li < plan.layers.size(); ++li) {
     if (plan.layers[li].kind != LayerKind::kConv) continue;
     if (conv_idx >= weights.conv_kernels.size()) break;
+    const Tensor4f& kern = weights.conv_kernels[conv_idx];
     if (const int m = winograd_m(plan.steps[li].algo); m > 0) {
-      const Tensor4f& kern = weights.conv_kernels[conv_idx];
       transform_cache().get({weights.version, conv_idx, m, kern.shape().h},
                             kern);
+    } else if (is_int8(plan.steps[li].algo)) {
+      quant_cache().get({weights.version, conv_idx,
+                         int8_winograd_m(plan.steps[li].algo),
+                         kern.shape().h},
+                        kern);
     }
     ++conv_idx;
   }

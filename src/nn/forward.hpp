@@ -17,33 +17,57 @@
 
 namespace wino::nn {
 
-/// Which algorithm computes each convolution.
+/// Which algorithm computes each convolution. The kInt8* family is the
+/// quantized execution mode (see docs/QUANTIZATION.md): symmetric int8
+/// operands, exact int32 accumulation, fp32 dequantize — selected per
+/// layer by the planner under an accuracy budget (PlanConstraints).
 enum class ConvAlgo {
   kSpatial,
   kIm2col,
   kFft,
-  kWinograd2,  ///< F(2x2, 3x3)
-  kWinograd3,  ///< F(3x3, 3x3)
-  kWinograd4,  ///< F(4x4, 3x3)
+  kWinograd2,      ///< F(2x2, 3x3)
+  kWinograd3,      ///< F(3x3, 3x3)
+  kWinograd4,      ///< F(4x4, 3x3)
+  kInt8Im2col,     ///< int8 im2col GEMM (runtime/igemm.hpp)
+  kInt8Winograd2,  ///< int8 transform-domain F(2x2, 3x3)
+  kInt8Winograd4,  ///< int8 transform-domain F(4x4, 3x3)
 };
 
 [[nodiscard]] std::string to_string(ConvAlgo algo);
 
 /// Inverse of to_string(ConvAlgo), also accepting the short command-line
 /// spellings: "spatial", "im2col", "fft", "winograd2" / "w2" (likewise 3,
-/// 4) and the canonical "winograd-F(2x2,3x3)" forms. The shared parser
-/// for every bench/example algo flag — binaries must not grow their own
-/// if/else ladders. Throws std::invalid_argument on an unknown name.
+/// 4), "int8" / "int8-im2col", "i8w2" / "i8w4" and the canonical
+/// "winograd-F(2x2,3x3)" forms. The shared parser for every bench/example
+/// algo flag — binaries must not grow their own if/else ladders. Throws
+/// std::invalid_argument on an unknown name.
 [[nodiscard]] ConvAlgo parse_conv_algo(const std::string& name);
 
-/// F(m) output-tile edge of the Winograd algos; 0 for every other
+/// F(m) output-tile edge of the fp32 Winograd algos; 0 for every other
 /// algorithm (the "has a tiled form" predicate the layout and execution
-/// planners branch on).
+/// planners branch on). Deliberately 0 for the int8 Winograd algos: the
+/// quantized path consumes and produces NCHW, so it never participates in
+/// tile-form handoffs — int8_winograd_m() exposes its tile edge instead.
 [[nodiscard]] int winograd_m(ConvAlgo algo);
+
+/// True for the quantized (kInt8*) algorithms.
+[[nodiscard]] bool is_int8(ConvAlgo algo);
+
+/// F(m) output-tile edge of the int8 Winograd algos; 0 for every other
+/// algorithm (including kInt8Im2col).
+[[nodiscard]] int int8_winograd_m(ConvAlgo algo);
 
 /// Dispatch one convolution (stride 1) with the chosen algorithm.
 tensor::Tensor4f run_conv(ConvAlgo algo, const tensor::Tensor4f& input,
                           const tensor::Tensor4f& kernels, int pad);
+
+/// As above with an explicit activation scale for the int8 algorithms
+/// (ignored by the fp32 ones): act_scale > 0 is the static per-tensor
+/// calibration scale a plan carries (LayerPlan::act_scale); <= 0 derives
+/// the scale per image. The 4-argument overload forwards act_scale = 0.
+tensor::Tensor4f run_conv(ConvAlgo algo, const tensor::Tensor4f& input,
+                          const tensor::Tensor4f& kernels, int pad,
+                          float act_scale);
 
 /// Elementwise max(x, 0).
 void relu_inplace(tensor::Tensor4f& t);

@@ -58,6 +58,33 @@ winograd::WinogradScratch carve_winograd_scratch(ByteCarver& carver,
   return s;
 }
 
+quant::QuantIm2colScratch carve_quant_im2col_scratch(ByteCarver& carver,
+                                                     std::size_t inner,
+                                                     std::size_t cols,
+                                                     std::size_t kcount) {
+  quant::QuantIm2colScratch s;
+  s.panel = carver.take<float>(inner * cols);
+  s.qpanel = carver.take<std::int8_t>(cols * inner);
+  s.acc = carver.take<std::int32_t>(kcount * cols);
+  return s;
+}
+
+quant::QuantWinogradScratch carve_quant_winograd_scratch(ByteCarver& carver,
+                                                         std::size_t channels,
+                                                         std::size_t n_tile,
+                                                         std::size_t m) {
+  const std::size_t nsq = n_tile * n_tile;
+  quant::QuantWinogradScratch s;
+  s.d = carver.take<float>(nsq);
+  s.u_all = carver.take<float>(channels * nsq);
+  s.sv = carver.take<float>(nsq);
+  s.uq_all = carver.take<std::int8_t>(channels * nsq);
+  s.acc = carver.take<std::int32_t>(nsq);
+  s.m_f = carver.take<float>(nsq);
+  s.y = carver.take<float>(m * m);
+  return s;
+}
+
 PoolScratch carve_pool_scratch(ByteCarver& carver, const Layout& il,
                                const Layout& ol) {
   PoolScratch s;
@@ -121,6 +148,19 @@ MemoryPlan build_memory_plan(const ExecutionPlan& plan, Shape4 input) {
               {1, cur.c, cur.h, cur.w}, r, pad, pad, /*stride=*/1);
           ByteCarver measure;
           (void)measure.take<float>(panel.volume());
+          scratch_bytes = measure.used();
+        } else if (step.algo == ConvAlgo::kInt8Im2col) {
+          ByteCarver measure;
+          (void)carve_quant_im2col_scratch(
+              measure, cur.c * r * r,
+              static_cast<std::size_t>(oh) * static_cast<std::size_t>(ow),
+              l.conv.k);
+          scratch_bytes = measure.used();
+        } else if (const int qm = int8_winograd_m(step.algo); qm > 0) {
+          ByteCarver measure;
+          (void)carve_quant_winograd_scratch(
+              measure, cur.c, static_cast<std::size_t>(qm) + r - 1,
+              static_cast<std::size_t>(qm));
           scratch_bytes = measure.used();
         }
         // Spatial/FFT conv steps keep their allocating kernels (the plan

@@ -31,6 +31,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "quant/int8.hpp"
 #include "tensor/layout.hpp"
 #include "winograd/kernels.hpp"
 
@@ -153,6 +154,24 @@ struct MemoryPlan {
 /// gather maps of winograd::conv2d_winograd_layout_into. `n_tile` is the
 /// transformer's m + r - 1 edge.
 [[nodiscard]] winograd::WinogradScratch carve_winograd_scratch(
+    ByteCarver& carver, std::size_t channels, std::size_t n_tile,
+    std::size_t m);
+
+/// Carve (or measure) the scratch of one int8 im2col conv layer: the fp32
+/// patch panel, its quantized K-contiguous transpose and the int32 GEMM
+/// accumulator of quant::conv2d_im2col_int8_into.
+/// \param inner  reduction depth C*r*r.
+/// \param cols   output pixels outH*outW.
+/// \param kcount output channels K.
+[[nodiscard]] quant::QuantIm2colScratch carve_quant_im2col_scratch(
+    ByteCarver& carver, std::size_t inner, std::size_t cols,
+    std::size_t kcount);
+
+/// Carve (or measure) the scratch of one int8 Winograd conv layer: the
+/// gathered/transformed/quantized tiles and accumulators of
+/// quant::conv2d_winograd_int8_into. `n_tile` is the transformer's
+/// m + r - 1 edge.
+[[nodiscard]] quant::QuantWinogradScratch carve_quant_winograd_scratch(
     ByteCarver& carver, std::size_t channels, std::size_t n_tile,
     std::size_t m);
 

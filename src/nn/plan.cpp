@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <tuple>
@@ -10,7 +11,9 @@
 
 #include "common/random.hpp"
 #include "dse/complexity.hpp"
+#include "quant/int8.hpp"
 #include "runtime/thread_pool.hpp"
+#include "winograd/error_model.hpp"
 #include "winograd/kernels.hpp"
 
 namespace wino::nn {
@@ -23,14 +26,40 @@ using tensor::Tensor4f;
 
 namespace {
 
+/// The fp32 algorithm whose op count / calibration family an int8 algo
+/// shares: the quantized forms run the same dataflow (im2col GEMM, F(m)
+/// transform sandwich) with cheaper multiplies, so they reuse the family's
+/// modelled ops and calibrated rate, adjusted by kInt8AnalyticSpeedup in
+/// the analytic model (measured scoring times them directly).
+ConvAlgo fp32_family(ConvAlgo algo) {
+  switch (algo) {
+    case ConvAlgo::kInt8Im2col:
+      return ConvAlgo::kIm2col;
+    case ConvAlgo::kInt8Winograd2:
+      return ConvAlgo::kWinograd2;
+    case ConvAlgo::kInt8Winograd4:
+      return ConvAlgo::kWinograd4;
+    default:
+      return algo;
+  }
+}
+
+/// Analytic-model throughput factor of int8 over its fp32 family: int8
+/// operands halve the memory traffic and the widening-multiply-accumulate
+/// runs 2x the lanes per vector op. Deliberately conservative — default
+/// (measured) scoring times the int8 kernels directly and ignores this.
+constexpr double kInt8AnalyticSpeedup = 2.0;
+
 /// Modelled op count of one conv layer under `algo` (the numerator the
 /// calibrated GFLOP/s divides). Winograd: Eq 4 + Eq 5 data/inverse with
 /// exact ragged tiles, filter transforms excluded (cross-call cache).
 /// Spatial/im2col: delivered spatial multiply+add ops. FFT: padded-grid
 /// transform + complex pointwise model matching conv::conv2d_fft's shape
-/// (fft_size = next_pow2(max(H, W) + r - 1)).
+/// (fft_size = next_pow2(max(H, W) + r - 1)). Int8 algos share their fp32
+/// family's counts (same dataflow, cheaper multiplies).
 double modelled_ops(const ConvLayerSpec& layer, ConvAlgo algo,
                     std::size_t batch) {
+  algo = fp32_family(algo);
   const int m = winograd_m(algo);
   if (m > 0) {
     const auto costs = dse::TransformCosts::from_generated(
@@ -109,6 +138,23 @@ double measure_layer_seconds(const ConvLayerSpec& layer, ConvAlgo algo) {
                                              LayoutKind::kNCHW,
                                              /*fuse_relu=*/false);
     });
+  }
+  // The int8 forms time against prequantized banks, mirroring the executor
+  // (which reads them from its cross-call cache): filter quantization is a
+  // registration-time cost, not a per-forward one.
+  if (const int qm = int8_winograd_m(algo); qm > 0) {
+    const winograd::TileTransformer xf(
+        winograd::transforms(qm, static_cast<int>(layer.r)));
+    const quant::QuantizedWinogradKernels qk =
+        quant::quantize_winograd_kernels(xf, kernels);
+    return best_seconds([&] {
+      (void)quant::conv2d_winograd_int8(input, qk, xf, layer.pad);
+    });
+  }
+  if (algo == ConvAlgo::kInt8Im2col) {
+    const quant::QuantizedFilter qf = quant::quantize_filters(kernels);
+    return best_seconds(
+        [&] { (void)quant::conv2d_im2col_int8(input, qf, layer.pad); });
   }
   return best_seconds(
       [&] { (void)run_conv(algo, input, kernels, layer.pad); });
@@ -337,6 +383,10 @@ double AlgoCalibration::gflops_at(double ops) const {
 }
 
 const AlgoCalibration& Calibration::entry(ConvAlgo algo) const {
+  // Int8 algos share their fp32 family's entry: the probe set (and the
+  // "winocal 1" persistence format) stays six entries, and the analytic
+  // model layers kInt8AnalyticSpeedup on top in predict_layer_ms.
+  algo = fp32_family(algo);
   switch (winograd_m(algo)) {
     case 2:
       return winograd2;
@@ -414,8 +464,109 @@ double predict_layer_ms(const ConvLayerSpec& layer, ConvAlgo algo,
   // stack one cache-budgeted chunk at a time, so per-call work scales with
   // the layer, not the whole batch); the charged time scales with batch.
   const double per_image = modelled_ops(layer, algo, 1);
-  const double rate = cal.entry(algo).gflops_at(per_image);
+  double rate = cal.entry(algo).gflops_at(per_image);
+  if (is_int8(algo)) rate *= kInt8AnalyticSpeedup;
   return per_image * static_cast<double>(batch) / (rate * 1e9) * 1e3;
+}
+
+double predict_layer_rel_error(const ConvLayerSpec& layer, ConvAlgo algo,
+                               const LayerActivationStats* stats) {
+  constexpr double kFp32Roundoff = 5.9604644775390625e-8;  // 2^-24
+  if (!is_int8(algo)) {
+    if (const int m = winograd_m(algo); m > 0) {
+      return winograd::error_model(m, static_cast<int>(layer.r))
+          .fp32_error_estimate(1.0);
+    }
+    // Direct forms accumulate one fp32 rounding per reduction step; RMS
+    // growth over the C * r^2 reduction is sqrt(depth).
+    const double depth = static_cast<double>(layer.c) *
+                         static_cast<double>(layer.r * layer.r);
+    return std::sqrt(depth) * kFp32Roundoff;
+  }
+  if (stats == nullptr) {
+    // No calibration: the int8 error is unbounded as far as the planner
+    // can prove, so a budgeted plan never selects int8 blind.
+    return std::numeric_limits<double>::infinity();
+  }
+  if (!(stats->max_abs > 0)) return 0.0;  // all-zero input quantizes exactly
+  if (!(stats->rms > 0)) return std::numeric_limits<double>::infinity();
+  // Grid step of the symmetric scheme is 2 * max_abs / 254 ~= max_abs/127;
+  // relative to the tensor's typical magnitude that is (2/127) * spread,
+  // where spread >= 1 measures how far the range outruns a uniform
+  // distribution of the same RMS (uniform: max = rms * sqrt(3)).
+  const double spread =
+      std::max(1.0, stats->max_abs / (stats->rms * std::sqrt(3.0)));
+  double err = (2.0 / 127.0) * spread;
+  if (const int qm = int8_winograd_m(algo); qm > 0) {
+    // Transform-domain quantization noise rides the full 1-D pipeline
+    // amplification kappa_1d = ||B^T|| * ||G|| * ||A^T||: the data and
+    // filter transforms widen the per-position dynamic range and the
+    // inverse transform amplifies the grid noise. Per-position scaling
+    // absorbs roughly one dimension's worth of that inflation, so the 1-D
+    // kappa (not kappa_2d) is the empirically sound bound; /3 normalizes
+    // F(2x2, 3x3) — the best-conditioned form — to a 3x grid-step cost.
+    // Observed errors sit below this bound (tests/quant_plan_test.cpp).
+    const winograd::ErrorModel em =
+        winograd::error_model(qm, static_cast<int>(layer.r));
+    err *= std::max(1.0, em.kappa_1d / 3.0);
+  }
+  return err;
+}
+
+std::vector<ConvAlgo> quantized_candidates() {
+  return {ConvAlgo::kInt8Winograd4, ConvAlgo::kInt8Winograd2,
+          ConvAlgo::kInt8Im2col};
+}
+
+QuantCalibration calibrate_activations(const std::vector<LayerSpec>& layers,
+                                       const WeightBank& weights,
+                                       const Tensor4f& sample) {
+  QuantCalibration cal;
+  Tensor4f act = sample;
+  std::size_t conv_idx = 0;
+  std::size_t fc_idx = 0;
+  for (const LayerSpec& l : layers) {
+    switch (l.kind) {
+      case LayerKind::kConv: {
+        if (conv_idx >= weights.conv_kernels.size()) {
+          throw std::invalid_argument(
+              "calibrate_activations: missing conv weights");
+        }
+        LayerActivationStats stats;
+        double sum_sq = 0;
+        const auto flat = act.flat();
+        for (const float v : flat) {
+          const double d = static_cast<double>(v);
+          stats.max_abs = std::max(stats.max_abs, std::abs(d));
+          sum_sq += d * d;
+        }
+        stats.rms = flat.empty()
+                        ? 0.0
+                        : std::sqrt(sum_sq / static_cast<double>(flat.size()));
+        cal.conv_inputs.push_back(stats);
+        act = run_conv(ConvAlgo::kIm2col, act, weights.conv_kernels[conv_idx],
+                       l.conv.pad);
+        ++conv_idx;
+        relu_inplace(act);
+        break;
+      }
+      case LayerKind::kMaxPool:
+        act = maxpool2x2(act);
+        break;
+      case LayerKind::kFullyConnected: {
+        if (fc_idx >= weights.fc_weights.size()) {
+          throw std::invalid_argument(
+              "calibrate_activations: missing fc weights");
+        }
+        act = fully_connected(act, weights.fc_weights[fc_idx],
+                              weights.fc_bias[fc_idx], l.fc_out);
+        ++fc_idx;
+        if (fc_idx < weights.fc_weights.size()) relu_inplace(act);
+        break;
+      }
+    }
+  }
+  return cal;
 }
 
 bool ExecutionPlan::uniform() const {
@@ -471,15 +622,23 @@ void replan_layouts(ExecutionPlan& plan) {
   plan.boundaries = layers.empty() ? 0 : layers.size() - 1;
   plan.nchw_boundaries = 0;
   plan.mixed_m_handoffs = 0;
+  plan.int8_layers = 0;
   const auto wino_conv = [&](std::size_t i) {
     return layers[i].kind == LayerKind::kConv &&
            winograd_m(plan.steps[i].algo) > 0;
+  };
+  const auto int8_conv = [&](std::size_t i) {
+    return layers[i].kind == LayerKind::kConv && is_int8(plan.steps[i].algo);
   };
   for (std::size_t i = 0; i < layers.size(); ++i) {
     LayerPlan& step = plan.steps[i];
     step.output_kind = LayoutKind::kNCHW;
     step.out_tile_m = 0;
-    step.fused_relu = wino_conv(i);
+    // Winograd and int8 convs fold ReLU into their output scatter /
+    // dequantizing store (int8 winograd_m is 0, so int8 layers keep NCHW
+    // boundaries below).
+    step.fused_relu = wino_conv(i) || int8_conv(i);
+    if (int8_conv(i)) ++plan.int8_layers;
     if (i + 1 >= layers.size()) continue;  // final output is NCHW
     const bool consumer_conv = wino_conv(i + 1);
     const bool consumer_pool = layers[i + 1].kind == LayerKind::kMaxPool;
@@ -523,12 +682,27 @@ ExecutionPlan plan_execution(const std::vector<LayerSpec>& layers,
   plan.layers = layers;
   plan.steps.assign(layers.size(), LayerPlan{});
   plan.predicted_total_ms = 0;
+  plan.predicted_max_rel_error = 0;
+  const double budget = options.constraints.max_rel_error;
+  std::size_t conv_ordinal = 0;
   for (std::size_t i = 0; i < layers.size(); ++i) {
     if (layers[i].kind != LayerKind::kConv) continue;
     LayerPlan& step = plan.steps[i];
+    const LayerActivationStats* stats = nullptr;
+    if (options.quant && conv_ordinal < options.quant->conv_inputs.size()) {
+      stats = &options.quant->conv_inputs[conv_ordinal];
+    }
     double best = 0;
     bool first = true;
     for (const ConvAlgo algo : options.candidates) {
+      // Quality gate first: with an active budget, a candidate whose
+      // predicted error breaches it never enters the speed race — the
+      // mechanism that demotes int8 Winograd to int8 im2col to fp32 as
+      // the budget tightens.
+      if (budget > 0 &&
+          predict_layer_rel_error(layers[i].conv, algo, stats) > budget) {
+        continue;
+      }
       // Default scoring measures the candidate at this layer's exact
       // geometry (cached per process); an injected calibration switches
       // to the pure analytic model.
@@ -547,8 +721,25 @@ ExecutionPlan plan_execution(const std::vector<LayerSpec>& layers,
         first = false;
       }
     }
+    if (first) {
+      throw std::invalid_argument(
+          "plan_execution: no candidate algorithm fits the error budget at "
+          "conv layer " +
+          std::to_string(conv_ordinal));
+    }
+    if (is_int8(step.algo) && stats != nullptr) {
+      // Attach the static per-tensor activation scale the calibration
+      // implies; without stats the executor derives it per image.
+      step.act_scale = static_cast<float>(stats->max_abs / 127.0);
+    }
+    if (budget > 0) {
+      plan.predicted_max_rel_error =
+          std::max(plan.predicted_max_rel_error,
+                   predict_layer_rel_error(layers[i].conv, step.algo, stats));
+    }
     step.predicted_ms = best;
     plan.predicted_total_ms += best;
+    ++conv_ordinal;
   }
   replan_layouts(plan);
   return plan;
@@ -592,7 +783,8 @@ Tensor4f forward_reference(const ExecutionPlan& plan,
               "forward_reference: missing conv weights");
         }
         act = run_conv(plan.steps[i].algo, act,
-                       weights.conv_kernels[conv_idx], l.conv.pad);
+                       weights.conv_kernels[conv_idx], l.conv.pad,
+                       plan.steps[i].act_scale);
         ++conv_idx;
         relu_inplace(act);
         break;

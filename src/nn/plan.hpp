@@ -53,10 +53,14 @@ struct LayerPlan {
   /// Tile edge of the output when output_kind == kWinogradTile: the conv's
   /// own m for Winograd layers, the downstream conv's m for pools.
   std::size_t out_tile_m = 0;
-  /// ReLU folded into the conv output scatter (Winograd layers).
+  /// ReLU folded into the conv output scatter (Winograd and int8 layers).
   bool fused_relu = false;
   /// Cost-model estimate for this layer (conv layers; 0 otherwise).
   double predicted_ms = 0;
+  /// Static per-tensor activation scale for int8 conv layers (max|x| / 127
+  /// from calibration); <= 0 means "derive per image" — the value run_conv
+  /// and the plan executor hand to the quant:: kernels. 0 for fp32 layers.
+  float act_scale = 0;
 
   friend bool operator==(const LayerPlan&, const LayerPlan&) = default;
 };
@@ -77,7 +81,12 @@ struct ExecutionPlan {
   std::size_t boundaries = 0;        ///< layer -> layer handoffs
   std::size_t nchw_boundaries = 0;   ///< handoffs that materialise NCHW
   std::size_t mixed_m_handoffs = 0;  ///< tiled handoffs with differing m
+  std::size_t int8_layers = 0;       ///< conv layers running a kInt8* algo
   double predicted_total_ms = 0;     ///< sum of conv predicted_ms
+  /// Largest predict_layer_rel_error over the chosen conv algorithms; only
+  /// filled when the plan was built under an error budget
+  /// (PlanConstraints::max_rel_error > 0), else 0.
+  double predicted_max_rel_error = 0;
 
   /// True when every conv layer runs the same algorithm.
   [[nodiscard]] bool uniform() const;
@@ -189,6 +198,81 @@ void import_measured_state(const MeasuredState& state);
 /// every measure_layer_ms re-measures. Test hook for cold-cache paths.
 void clear_measured_state();
 
+/// Accuracy constraints the planner enforces per conv layer.
+struct PlanConstraints {
+  /// Maximum tolerated relative output error (max-abs error over the
+  /// output's dynamic range) per conv layer. 0 disables the check; > 0
+  /// makes plan_execution reject every candidate whose
+  /// predict_layer_rel_error exceeds it — the gate that demotes int8
+  /// Winograd to int8 im2col to fp32 as the budget tightens, and throws
+  /// std::invalid_argument when no candidate fits at all.
+  double max_rel_error = 0.0;
+
+  friend bool operator==(const PlanConstraints&,
+                         const PlanConstraints&) = default;
+};
+
+/// Observed dynamic range of one conv layer's input activation, recorded
+/// by calibrate_activations over a representative sample.
+struct LayerActivationStats {
+  double max_abs = 0;  ///< max |x| — the per-tensor int8 scale is this / 127
+  double rms = 0;      ///< root-mean-square of x (error-spread denominator)
+
+  friend bool operator==(const LayerActivationStats&,
+                         const LayerActivationStats&) = default;
+};
+
+/// Per-model activation calibration: one stats record per conv layer, in
+/// conv-layer order. Feeds the planner's error model (which int8 form is
+/// safe where) and the static activation scales the plan carries.
+struct QuantCalibration {
+  std::vector<LayerActivationStats> conv_inputs;
+
+  friend bool operator==(const QuantCalibration&,
+                         const QuantCalibration&) = default;
+};
+
+/// Record each conv layer's input dynamic range by walking `sample`
+/// through the fp32 reference stack (im2col convs, exact NCHW data flow).
+/// `sample` must match the first layer like forward()'s input; any batch
+/// size works and all images contribute to the stats.
+[[nodiscard]] QuantCalibration calibrate_activations(
+    const std::vector<LayerSpec>& layers, const WeightBank& weights,
+    const tensor::Tensor4f& sample);
+
+/// Predicted relative output error (max-abs error / output dynamic range)
+/// of one conv layer under `algo` — the quality half of the cost model,
+/// derived from winograd::ErrorModel and the int8 grid step:
+///
+///  * fp32 direct forms charge accumulated rounding, sqrt(C * r^2) * 2^-24;
+///  * fp32 Winograd charges ErrorModel::fp32_error_estimate (kappa_2d
+///    amplification of fp32 roundoff);
+///  * int8 im2col charges the quantization grid step 2/127 times the
+///    layer's spread factor max_abs / (rms * sqrt(3)) — how much wider the
+///    tensor's range is than a uniform distribution of the same RMS, i.e.
+///    how much grid resolution its outliers waste;
+///  * int8 Winograd additionally multiplies the transform-domain
+///    amplification max(1, kappa_1d / 3) — an upper bound on what
+///    quantizing U = B^T d B and V = G g G^T costs: the forward
+///    transforms widen the per-position dynamic range and the inverse
+///    amplifies the grid noise. The kernel scales every tile position at
+///    its observed max, which absorbs about one dimension of that
+///    inflation — hence the 1-D kappa rather than kappa_2d. F(2x2, 3x3)
+///    (kappa_1d = 9) stays cheap; F(4x4, 3x3) (kappa_1d = 200) is priced
+///    as numerically unsafe, matching its observed behaviour.
+///
+/// `stats` may be null: fp32 predictions don't need it; int8 predictions
+/// without calibration return +infinity, so a budgeted planner never
+/// selects int8 blind. Pinned by tests/quant_plan_test.cpp.
+[[nodiscard]] double predict_layer_rel_error(const ConvLayerSpec& layer,
+                                             ConvAlgo algo,
+                                             const LayerActivationStats* stats);
+
+/// The quantized candidate set, fastest-first: {kInt8Winograd4,
+/// kInt8Winograd2, kInt8Im2col}. Append to PlannerOptions::candidates to
+/// let a budgeted planner mix precisions.
+[[nodiscard]] std::vector<ConvAlgo> quantized_candidates();
+
 /// Planner knobs.
 struct PlannerOptions {
   /// Candidate algorithms, tried in order; ties keep the earliest listed.
@@ -207,6 +291,14 @@ struct PlannerOptions {
   /// under this model, so it rarely changes the argmin; kept explicit for
   /// cost reporting).
   std::size_t batch = 1;
+  /// Accuracy budget; constraints.max_rel_error > 0 activates the error
+  /// model as a per-layer candidate filter.
+  PlanConstraints constraints;
+  /// Activation calibration (calibrate_activations). Required for int8
+  /// candidates to pass an active error budget, and the source of the
+  /// static act_scale attached to chosen int8 layers; without it int8
+  /// layers fall back to per-image dynamic scales.
+  std::optional<QuantCalibration> quant;
 };
 
 /// Cost model: predicted milliseconds for one conv layer under `algo`.

@@ -15,11 +15,17 @@ float FixedPointFormat::quantize(float v) const {
       frac_bits >= total_bits) {
     throw std::invalid_argument("FixedPointFormat: bad widths");
   }
+  // NaN would silently compare its way through min/max to the most
+  // negative code — a large-magnitude garbage value. Map it to zero, the
+  // only code with no directional bias.
+  if (std::isnan(v)) return 0.0F;
   const double scaled = std::nearbyint(static_cast<double>(v) * scale());
   const double lo = static_cast<double>(
       -(std::int64_t{1} << (total_bits - 1)));
   const double hi =
       static_cast<double>((std::int64_t{1} << (total_bits - 1)) - 1);
+  // +-inf saturate like any out-of-range value: nearbyint keeps them
+  // infinite and the clamp pins them to the format's extremes.
   const double clamped = std::min(hi, std::max(lo, scaled));
   return static_cast<float>(clamped / scale());
 }

@@ -34,7 +34,12 @@ struct FixedPointFormat {
            scale();
   }
 
-  /// Round-to-nearest and saturate.
+  /// Round-to-nearest and saturate. Edge cases are pinned by
+  /// tests/quant_test.cpp: +-inf saturate to max_value()/min_value(),
+  /// NaN maps to 0 (not to the most negative code, which a naive
+  /// min/max clamp would silently produce), and invalid widths
+  /// (total_bits < 2 or > 32, frac_bits < 0 or >= total_bits) throw
+  /// std::invalid_argument.
   [[nodiscard]] float quantize(float v) const;
 };
 

@@ -1,0 +1,146 @@
+#include "runtime/igemm.hpp"
+
+#include <stdexcept>
+
+#include "runtime/thread_pool.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define WINO_IGEMM_AVX2 1
+#elif defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64)
+#include <emmintrin.h>
+#define WINO_IGEMM_SSE2 1
+#endif
+
+namespace wino::runtime {
+namespace {
+
+// Widening scalar dot product: the reference semantics every SIMD kernel
+// must reproduce bit-for-bit (trivial here — integer accumulation is
+// exact, so there is nothing order-sensitive to reproduce).
+inline std::int32_t dot_scalar(const std::int8_t* a, const std::int8_t* b,
+                               std::size_t k) {
+  std::int32_t acc = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    acc += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return acc;
+}
+
+#if defined(WINO_IGEMM_AVX2)
+
+inline std::int32_t dot_simd(const std::int8_t* a, const std::int8_t* b,
+                             std::size_t k) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 16 <= k; i += 16) {
+    // Sign-extend 16 int8 lanes to int16, then pmaddwd: each pair of
+    // adjacent int16 products sums into one int32 lane — exact, since
+    // 2 * 127 * 127 is far below 2^31.
+    const __m256i va = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256i vb = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+  }
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  __m128i sum = _mm_add_epi32(lo, hi);
+  sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(1, 0, 3, 2)));
+  sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(2, 3, 0, 1)));
+  std::int32_t total = _mm_cvtsi128_si32(sum);
+  for (; i < k; ++i) {
+    total += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return total;
+}
+
+const char* const kKernelName = "avx2";
+
+#elif defined(WINO_IGEMM_SSE2)
+
+// SSE2 has no byte sign-extension instruction; interleave the vector with
+// itself and arithmetic-shift each 16-bit lane right by 8 — the classic
+// pre-SSE4.1 sign-extend.
+inline std::int32_t dot_simd(const std::int8_t* a, const std::int8_t* b,
+                             std::size_t k) {
+  __m128i acc = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 16 <= k; i += 16) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const __m128i va_lo = _mm_srai_epi16(_mm_unpacklo_epi8(va, va), 8);
+    const __m128i va_hi = _mm_srai_epi16(_mm_unpackhi_epi8(va, va), 8);
+    const __m128i vb_lo = _mm_srai_epi16(_mm_unpacklo_epi8(vb, vb), 8);
+    const __m128i vb_hi = _mm_srai_epi16(_mm_unpackhi_epi8(vb, vb), 8);
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(va_lo, vb_lo));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(va_hi, vb_hi));
+  }
+  acc = _mm_add_epi32(acc, _mm_shuffle_epi32(acc, _MM_SHUFFLE(1, 0, 3, 2)));
+  acc = _mm_add_epi32(acc, _mm_shuffle_epi32(acc, _MM_SHUFFLE(2, 3, 0, 1)));
+  std::int32_t total = _mm_cvtsi128_si32(acc);
+  for (; i < k; ++i) {
+    total += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return total;
+}
+
+const char* const kKernelName = "sse2";
+
+#else
+
+inline std::int32_t dot_simd(const std::int8_t* a, const std::int8_t* b,
+                             std::size_t k) {
+  return dot_scalar(a, b, k);
+}
+
+const char* const kKernelName = "scalar";
+
+#endif
+
+}  // namespace
+
+void igemm_nt(std::size_t m, std::size_t n, std::size_t k,
+              const std::int8_t* a, std::size_t lda, const std::int8_t* b,
+              std::size_t ldb, std::int32_t* c, std::size_t ldc,
+              IGemmKernel kernel) {
+  if (k > kMaxInner) {
+    throw std::invalid_argument(
+        "igemm_nt: reduction depth exceeds the int32 exactness bound");
+  }
+  if (m == 0 || n == 0) return;
+  // Columns are the large dimension in the im2col shape (output pixels);
+  // splitting them keeps every thread's writes disjoint and leaves the
+  // K reduction whole.
+  parallel_for(n, [&](std::size_t col_begin, std::size_t col_end) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::int8_t* arow = a + i * lda;
+      std::int32_t* crow = c + i * ldc;
+      if (kernel == IGemmKernel::kScalar) {
+        for (std::size_t j = col_begin; j < col_end; ++j) {
+          crow[j] = dot_scalar(arow, b + j * ldb, k);
+        }
+      } else {
+        for (std::size_t j = col_begin; j < col_end; ++j) {
+          crow[j] = dot_simd(arow, b + j * ldb, k);
+        }
+      }
+    }
+  });
+}
+
+void igemm_nt_ref(std::size_t m, std::size_t n, std::size_t k,
+                  const std::int8_t* a, std::size_t lda, const std::int8_t* b,
+                  std::size_t ldb, std::int32_t* c, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      c[i * ldc + j] = dot_scalar(a + i * lda, b + j * ldb, k);
+    }
+  }
+}
+
+const char* igemm_kernel_name() { return kKernelName; }
+
+}  // namespace wino::runtime

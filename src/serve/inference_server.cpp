@@ -97,6 +97,23 @@ ModelId InferenceServer::add_model_planned(std::string name,
   return id;
 }
 
+ModelId InferenceServer::add_model_quantized(
+    std::string name, std::vector<nn::LayerSpec> layers,
+    nn::WeightBank weights, const Tensor4f& calibration_sample,
+    double max_rel_error, nn::PlannerOptions options) {
+  options.quant = nn::calibrate_activations(layers, weights,
+                                            calibration_sample);
+  options.constraints.max_rel_error = max_rel_error;
+  for (const nn::ConvAlgo algo : nn::quantized_candidates()) {
+    if (std::find(options.candidates.begin(), options.candidates.end(),
+                  algo) == options.candidates.end()) {
+      options.candidates.push_back(algo);
+    }
+  }
+  return add_model_planned(std::move(name), std::move(layers),
+                           std::move(weights), options);
+}
+
 std::shared_ptr<const InferenceServer::Model> InferenceServer::find_model(
     ModelId model) const {
   std::lock_guard lock(models_mutex_);

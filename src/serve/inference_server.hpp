@@ -265,6 +265,24 @@ class InferenceServer {
                             nn::WeightBank weights,
                             const nn::PlannerOptions& options = {});
 
+  /// Register a mixed-precision session under an accuracy budget: calibrate
+  /// each conv layer's activation range on `calibration_sample` (any batch
+  /// of representative inputs matching the first layer), extend the
+  /// candidate set with the int8 algorithms (unless the caller's options
+  /// already list them), and plan with
+  /// PlanConstraints::max_rel_error = `max_rel_error` — so int8 runs
+  /// exactly where nn::predict_layer_rel_error deems it safe, and fp32
+  /// holds the rest. Persists measured planning state like
+  /// add_model_planned.
+  /// \throws std::invalid_argument when no candidate fits the budget at
+  ///         some layer (from nn::plan_execution).
+  ModelId add_model_quantized(std::string name,
+                              std::vector<nn::LayerSpec> layers,
+                              nn::WeightBank weights,
+                              const tensor::Tensor4f& calibration_sample,
+                              double max_rel_error,
+                              nn::PlannerOptions options = {});
+
   /// Submit one image for inference.
   /// \param model handle from add_model().
   /// \param image single-image tensor, shape (1, c, h, w) matching the

@@ -1,0 +1,399 @@
+// Tests for the int8 quantized execution path and the planner's quality
+// axis: int8 conv correctness against fp32 references, the exact
+// bit-identity contracts (SIMD vs scalar, thread counts, planned vs
+// reference composition), the analytic error model's ordering, the error
+// budget's demotion chain (int8 Winograd -> int8 im2col -> fp32), and the
+// quantized serving session. See docs/QUANTIZATION.md for the contract
+// under test.
+#include "nn/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "common/random.hpp"
+#include "conv/spatial.hpp"
+#include "nn/forward.hpp"
+#include "quant/int8.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/inference_server.hpp"
+#include "winograd/error_model.hpp"
+
+namespace wino::nn {
+namespace {
+
+using common::Rng;
+using tensor::Tensor4f;
+
+bool same_bits(const Tensor4f& a, const Tensor4f& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.flat().data(), b.flat().data(),
+                     a.flat().size() * sizeof(float)) == 0;
+}
+
+float rel_max_error(const Tensor4f& got, const Tensor4f& ref) {
+  float max_diff = 0;
+  float max_ref = 0;
+  const auto g = got.flat();
+  const auto r = ref.flat();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(g[i] - r[i]));
+    max_ref = std::max(max_ref, std::abs(r[i]));
+  }
+  return max_ref > 0 ? max_diff / max_ref : max_diff;
+}
+
+ConvLayerSpec conv_spec(std::size_t hw, std::size_t c, std::size_t k) {
+  ConvLayerSpec l;
+  l.h = hw;
+  l.w = hw;
+  l.c = c;
+  l.k = k;
+  l.r = 3;
+  l.pad = 1;
+  return l;
+}
+
+TEST(Int8Algos, PredicatesAndNames) {
+  for (const ConvAlgo algo : {ConvAlgo::kInt8Im2col, ConvAlgo::kInt8Winograd2,
+                              ConvAlgo::kInt8Winograd4}) {
+    EXPECT_TRUE(is_int8(algo));
+    EXPECT_EQ(winograd_m(algo), 0);  // never participates in tile handoffs
+    EXPECT_EQ(parse_conv_algo(to_string(algo)), algo);
+  }
+  EXPECT_FALSE(is_int8(ConvAlgo::kIm2col));
+  EXPECT_FALSE(is_int8(ConvAlgo::kWinograd4));
+  EXPECT_EQ(int8_winograd_m(ConvAlgo::kInt8Im2col), 0);
+  EXPECT_EQ(int8_winograd_m(ConvAlgo::kInt8Winograd2), 2);
+  EXPECT_EQ(int8_winograd_m(ConvAlgo::kInt8Winograd4), 4);
+  EXPECT_EQ(parse_conv_algo("int8"), ConvAlgo::kInt8Im2col);
+  EXPECT_EQ(parse_conv_algo("i8w2"), ConvAlgo::kInt8Winograd2);
+  EXPECT_EQ(parse_conv_algo("i8w4"), ConvAlgo::kInt8Winograd4);
+}
+
+TEST(Int8Conv, Im2colTracksFp32Reference) {
+  Rng rng(101);
+  Tensor4f input(2, 5, 9, 7);  // ragged extents, multi-image
+  Tensor4f kernels(4, 5, 3, 3);
+  rng.fill_uniform(input.flat(), -1.0F, 1.0F);
+  rng.fill_normal(kernels.flat(), 0.0F, 0.2F);
+  const Tensor4f ref =
+      conv::conv2d_spatial(input, kernels, {.pad = 1, .stride = 1});
+  const Tensor4f got = quant::conv2d_im2col_int8(input, kernels, /*pad=*/1);
+  // ~1% of the output range is the expected int8 grid error for
+  // uniform-ish inputs; 5% is a generous ceiling that still catches any
+  // scale/transpose/dequant bug (those produce O(100%) errors).
+  EXPECT_LE(rel_max_error(got, ref), 0.05F);
+}
+
+TEST(Int8Conv, WinogradFormsStayUnderModelPrediction) {
+  // The numerics contract: predict_layer_rel_error upper-bounds each int8
+  // Winograd form's observed error. F(2x2, 3x3) is also absolutely tight
+  // (~1% here); F(4x4, 3x3) is genuinely coarse (kappa_1d = 200 prices it
+  // near-unusable, and it is) — the planner's budget gate, not a tighter
+  // kernel, is what keeps it out of real plans.
+  Rng rng(103);
+  Tensor4f input(1, 4, 7, 9);  // ragged tiles for both m
+  Tensor4f kernels(3, 4, 3, 3);
+  rng.fill_uniform(input.flat(), -1.0F, 1.0F);
+  rng.fill_normal(kernels.flat(), 0.0F, 0.2F);
+  const Tensor4f ref =
+      conv::conv2d_spatial(input, kernels, {.pad = 1, .stride = 1});
+  LayerActivationStats stats;
+  double sq = 0;
+  for (const float v : input.flat()) {
+    stats.max_abs = std::max(stats.max_abs, static_cast<double>(std::abs(v)));
+    sq += static_cast<double>(v) * v;
+  }
+  stats.rms = std::sqrt(sq / static_cast<double>(input.flat().size()));
+  ConvLayerSpec spec = conv_spec(7, 4, 3);
+  spec.w = 9;
+  for (const int m : {2, 4}) {
+    const Tensor4f got =
+        quant::conv2d_winograd_int8(input, kernels, m, /*pad=*/1);
+    const ConvAlgo algo =
+        m == 2 ? ConvAlgo::kInt8Winograd2 : ConvAlgo::kInt8Winograd4;
+    EXPECT_LE(rel_max_error(got, ref),
+              static_cast<float>(predict_layer_rel_error(spec, algo, &stats)))
+        << "m=" << m;
+  }
+  EXPECT_LE(rel_max_error(
+                quant::conv2d_winograd_int8(input, kernels, 2, /*pad=*/1),
+                ref),
+            0.05F);
+}
+
+TEST(Int8Conv, StaticScaleMatchesDynamicForSingleImage) {
+  // With one image, the dynamic path derives exactly max|x| / 127 — so
+  // passing that same value as the static calibration scale must be
+  // bit-identical. Pins the act_scale plumbing end to end.
+  Rng rng(107);
+  Tensor4f input(1, 3, 8, 8);
+  Tensor4f kernels(2, 3, 3, 3);
+  rng.fill_uniform(input.flat(), -1.0F, 1.0F);
+  rng.fill_normal(kernels.flat(), 0.0F, 0.2F);
+  float max_abs = 0;
+  for (const float v : input.flat()) max_abs = std::max(max_abs, std::abs(v));
+  const float scale = max_abs / 127.0F;
+  for (const ConvAlgo algo : {ConvAlgo::kInt8Im2col, ConvAlgo::kInt8Winograd2,
+                              ConvAlgo::kInt8Winograd4}) {
+    const Tensor4f dynamic = run_conv(algo, input, kernels, 1);
+    const Tensor4f fixed = run_conv(algo, input, kernels, 1, scale);
+    EXPECT_TRUE(same_bits(dynamic, fixed)) << to_string(algo);
+  }
+}
+
+TEST(Int8Conv, BitIdenticalAcrossThreadCounts) {
+  Rng rng(109);
+  Tensor4f input(3, 6, 12, 12);
+  Tensor4f kernels(5, 6, 3, 3);
+  rng.fill_uniform(input.flat(), -1.0F, 1.0F);
+  rng.fill_normal(kernels.flat(), 0.0F, 0.2F);
+  for (const ConvAlgo algo : {ConvAlgo::kInt8Im2col, ConvAlgo::kInt8Winograd2,
+                              ConvAlgo::kInt8Winograd4}) {
+    runtime::ThreadPool::set_global_threads(1);
+    const Tensor4f base = run_conv(algo, input, kernels, 1);
+    for (const std::size_t threads : {2u, 7u}) {
+      runtime::ThreadPool::set_global_threads(threads);
+      EXPECT_TRUE(same_bits(run_conv(algo, input, kernels, 1), base))
+          << to_string(algo) << " threads=" << threads;
+    }
+  }
+  runtime::ThreadPool::set_global_threads(
+      std::max(1u, std::thread::hardware_concurrency()));
+}
+
+TEST(ErrorModel, AmplificationGrowsWithTileSize) {
+  const winograd::ErrorModel e2 = winograd::error_model(2, 3);
+  const winograd::ErrorModel e4 = winograd::error_model(4, 3);
+  EXPECT_GT(e4.kappa_2d, e2.kappa_2d);
+  EXPECT_GT(e2.kappa_2d, 1.0);
+  // The estimate is linear in the input magnitude.
+  EXPECT_DOUBLE_EQ(e4.fp32_error_estimate(2.0),
+                   2.0 * e4.fp32_error_estimate(1.0));
+}
+
+TEST(ErrorModel, PredictedLayerErrorOrdering) {
+  const ConvLayerSpec layer = conv_spec(16, 8, 8);
+  const LayerActivationStats stats{.max_abs = 2.0, .rms = 0.5};
+  const double fp32_direct =
+      predict_layer_rel_error(layer, ConvAlgo::kIm2col, &stats);
+  const double fp32_w4 =
+      predict_layer_rel_error(layer, ConvAlgo::kWinograd4, &stats);
+  const double i8_im2col =
+      predict_layer_rel_error(layer, ConvAlgo::kInt8Im2col, &stats);
+  const double i8_w2 =
+      predict_layer_rel_error(layer, ConvAlgo::kInt8Winograd2, &stats);
+  const double i8_w4 =
+      predict_layer_rel_error(layer, ConvAlgo::kInt8Winograd4, &stats);
+  // fp32 rounding sits orders of magnitude below the int8 grid; within
+  // int8, transform-domain quantization costs more as m grows.
+  EXPECT_LT(fp32_direct, fp32_w4);
+  EXPECT_LT(fp32_w4, i8_im2col);
+  EXPECT_LT(i8_im2col, i8_w2);
+  EXPECT_LT(i8_w2, i8_w4);
+  // fp32 predictions work without stats; int8 without calibration is
+  // unbounded so a budgeted planner can never pick it blind.
+  EXPECT_GT(predict_layer_rel_error(layer, ConvAlgo::kWinograd2, nullptr),
+            0.0);
+  EXPECT_TRUE(std::isinf(
+      predict_layer_rel_error(layer, ConvAlgo::kInt8Im2col, nullptr)));
+}
+
+TEST(Planner, CalibrationRecordsPerConvLayerStats) {
+  const auto layers = vgg16_d_scaled(28, 16);
+  const WeightBank weights = random_weights(layers, 9);
+  std::size_t conv_count = 0;
+  for (const LayerSpec& l : layers) {
+    conv_count += l.kind == LayerKind::kConv ? 1 : 0;
+  }
+  Rng rng(11);
+  Tensor4f sample(2, 3, 8, 8);
+  rng.fill_uniform(sample.flat(), -1.0F, 1.0F);
+  const QuantCalibration cal = calibrate_activations(layers, weights, sample);
+  ASSERT_EQ(cal.conv_inputs.size(), conv_count);
+  for (std::size_t i = 0; i < cal.conv_inputs.size(); ++i) {
+    EXPECT_GT(cal.conv_inputs[i].max_abs, 0.0) << "conv " << i;
+    EXPECT_GT(cal.conv_inputs[i].rms, 0.0) << "conv " << i;
+    EXPECT_GE(cal.conv_inputs[i].max_abs, cal.conv_inputs[i].rms);
+  }
+}
+
+TEST(Planner, ErrorBudgetDemotionChain) {
+  // One conv layer, analytic scoring, candidates spanning the precision
+  // ladder. As the budget tightens through the predicted-error midpoints
+  // the planner demotes: int8 Winograd -> int8 im2col -> fp32 — and
+  // throws when even fp32 cannot meet it.
+  const ConvLayerSpec conv = conv_spec(16, 8, 8);
+  std::vector<LayerSpec> layers(1);
+  layers[0].kind = LayerKind::kConv;
+  layers[0].conv = conv;
+
+  const LayerActivationStats stats{.max_abs = 2.0, .rms = 0.5};
+  PlannerOptions opts;
+  opts.calibration = default_calibration();
+  opts.quant = QuantCalibration{{stats}};
+  opts.candidates = {ConvAlgo::kInt8Winograd4, ConvAlgo::kInt8Winograd2,
+                     ConvAlgo::kInt8Im2col, ConvAlgo::kIm2col};
+
+  const double e_fp32 = predict_layer_rel_error(conv, ConvAlgo::kIm2col,
+                                                &stats);
+  const double e_i8 =
+      predict_layer_rel_error(conv, ConvAlgo::kInt8Im2col, &stats);
+  const double e_w2 =
+      predict_layer_rel_error(conv, ConvAlgo::kInt8Winograd2, &stats);
+  const double e_w4 =
+      predict_layer_rel_error(conv, ConvAlgo::kInt8Winograd4, &stats);
+  ASSERT_LT(e_fp32, e_i8);
+  ASSERT_LT(e_i8, e_w2);
+  ASSERT_LT(e_w2, e_w4);
+
+  // Budget above every candidate: int8 wins on (analytic) speed.
+  opts.constraints.max_rel_error = e_w4 * 1.01;
+  ExecutionPlan plan = plan_execution(layers, opts);
+  EXPECT_TRUE(is_int8(plan.steps[0].algo));
+  EXPECT_EQ(plan.int8_layers, 1u);
+  EXPECT_LE(plan.predicted_max_rel_error, opts.constraints.max_rel_error);
+  EXPECT_GT(plan.predicted_max_rel_error, 0.0);
+  // The chosen int8 layer carries the calibration's static scale.
+  EXPECT_FLOAT_EQ(plan.steps[0].act_scale,
+                  static_cast<float>(stats.max_abs / 127.0));
+
+  // Between int8-W2 and int8-W4: F(4,3) is out.
+  opts.constraints.max_rel_error = (e_w2 + e_w4) / 2;
+  plan = plan_execution(layers, opts);
+  EXPECT_NE(plan.steps[0].algo, ConvAlgo::kInt8Winograd4);
+  EXPECT_TRUE(is_int8(plan.steps[0].algo));
+
+  // Between int8-im2col and int8-W2: only the spatial-domain int8 form
+  // survives the gate, and it beats fp32 im2col on speed.
+  opts.constraints.max_rel_error = (e_i8 + e_w2) / 2;
+  plan = plan_execution(layers, opts);
+  EXPECT_EQ(plan.steps[0].algo, ConvAlgo::kInt8Im2col);
+
+  // Between fp32 and int8: every int8 form is out; the plan goes fp32.
+  opts.constraints.max_rel_error = (e_fp32 + e_i8) / 2;
+  plan = plan_execution(layers, opts);
+  EXPECT_EQ(plan.steps[0].algo, ConvAlgo::kIm2col);
+  EXPECT_EQ(plan.int8_layers, 0u);
+
+  // Below even fp32's rounding floor: nothing fits.
+  opts.constraints.max_rel_error = 1e-12;
+  EXPECT_THROW(plan_execution(layers, opts), std::invalid_argument);
+}
+
+TEST(Planner, BudgetWithoutCalibrationNeverPicksInt8) {
+  const auto layers = vgg16_d_scaled(28, 16);
+  PlannerOptions opts;
+  opts.calibration = default_calibration();
+  opts.candidates = quantized_candidates();
+  opts.candidates.push_back(ConvAlgo::kIm2col);
+  opts.constraints.max_rel_error = 0.5;  // generous — but int8 is unproven
+  const ExecutionPlan plan = plan_execution(layers, opts);
+  EXPECT_EQ(plan.int8_layers, 0u);
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    if (layers[i].kind != LayerKind::kConv) continue;
+    EXPECT_EQ(plan.steps[i].algo, ConvAlgo::kIm2col);
+  }
+}
+
+TEST(Planner, UniformInt8PlanKeepsNchwBoundariesAndFusesRelu) {
+  const auto layers = vgg16_d_scaled(28, 16);
+  const ExecutionPlan plan = uniform_plan(layers, ConvAlgo::kInt8Im2col);
+  std::size_t conv_count = 0;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    EXPECT_EQ(plan.steps[i].output_kind, tensor::LayoutKind::kNCHW);
+    if (layers[i].kind == LayerKind::kConv) {
+      EXPECT_TRUE(plan.steps[i].fused_relu);
+      ++conv_count;
+    }
+  }
+  EXPECT_EQ(plan.int8_layers, conv_count);
+  EXPECT_EQ(plan.nchw_boundaries, plan.boundaries);
+}
+
+// The tentpole acceptance pin: a quantized mixed-precision plan executes
+// bit-identically to the per-layer reference composition at every batch
+// size and thread count, and its end-to-end error against the all-fp32
+// network stays within the planner's budget.
+TEST(ForwardPlan, QuantizedPlanBitIdenticalAndWithinBudget) {
+  const auto layers = vgg16_d_scaled(14, 16);
+  const WeightBank weights = random_weights(layers, 55);
+  Rng rng(57);
+  Tensor4f sample(2, 3, 16, 16);
+  rng.fill_uniform(sample.flat(), -1.0F, 1.0F);
+
+  PlannerOptions opts;
+  opts.calibration = default_calibration();
+  opts.quant = calibrate_activations(layers, weights, sample);
+  opts.constraints.max_rel_error = 0.1;
+  opts.candidates = {ConvAlgo::kWinograd2, ConvAlgo::kWinograd4,
+                     ConvAlgo::kIm2col};
+  for (const ConvAlgo algo : quantized_candidates()) {
+    opts.candidates.push_back(algo);
+  }
+  const ExecutionPlan plan = plan_execution(layers, opts);
+  EXPECT_GT(plan.int8_layers, 0u);
+  EXPECT_LE(plan.predicted_max_rel_error, 0.1);
+
+  for (const std::size_t batch : {1u, 3u}) {
+    Tensor4f input(batch, 3, 16, 16);
+    rng.fill_uniform(input.flat(), -1.0F, 1.0F);
+    const Tensor4f reference = forward_reference(plan, weights, input);
+    for (const std::size_t threads : {1u, 2u, 7u}) {
+      runtime::ThreadPool::set_global_threads(threads);
+      ASSERT_TRUE(same_bits(forward(plan, weights, input), reference))
+          << "batch=" << batch << " threads=" << threads;
+    }
+    // End-to-end accuracy: the quantized network against the all-fp32 one.
+    const Tensor4f fp32 =
+        forward(layers, weights, input, ConvAlgo::kIm2col);
+    EXPECT_LE(rel_max_error(reference, fp32),
+              static_cast<float>(opts.constraints.max_rel_error))
+        << "batch=" << batch;
+  }
+  runtime::ThreadPool::set_global_threads(
+      std::max(1u, std::thread::hardware_concurrency()));
+}
+
+TEST(Serve, QuantizedSessionServesBitIdenticalResults) {
+  const auto layers = vgg16_d_scaled(14, 16);
+  WeightBank weights = random_weights(layers, 63);
+  Rng rng(65);
+  Tensor4f sample(1, 3, 16, 16);
+  rng.fill_uniform(sample.flat(), -1.0F, 1.0F);
+
+  serve::ServerConfig cfg;
+  cfg.max_batch = 4;
+  serve::InferenceServer server(cfg);
+  PlannerOptions opts;
+  opts.calibration = default_calibration();  // deterministic registration
+  const auto id = server.add_model_quantized(
+      "quantized", layers, weights, sample, /*max_rel_error=*/0.1, opts);
+  EXPECT_GT(server.model_plan(id).int8_layers, 0u);
+
+  std::vector<Tensor4f> images;
+  for (int i = 0; i < 5; ++i) {
+    Tensor4f img(1, 3, 16, 16);
+    rng.fill_uniform(img.flat(), -1.0F, 1.0F);
+    images.push_back(std::move(img));
+  }
+  std::vector<std::future<Tensor4f>> futures;
+  futures.reserve(images.size());
+  for (auto& img : images) futures.push_back(server.submit(id, img));
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    const Tensor4f served = futures[i].get();
+    const Tensor4f direct =
+        forward(server.model_plan(id), server.model_weights(id), images[i]);
+    EXPECT_TRUE(same_bits(served, direct)) << "image " << i;
+  }
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace wino::nn

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/random.hpp"
 #include "conv/spatial.hpp"
 
@@ -31,6 +33,46 @@ TEST(FixedPointFormat, RejectsBadWidths) {
   const FixedPointFormat bad{.total_bits = 4, .frac_bits = 8};
   EXPECT_THROW(static_cast<void>(bad.quantize(1.0F)),
                std::invalid_argument);
+}
+
+TEST(FixedPointFormat, RejectsDegenerateWidths) {
+  // A 1-bit two's-complement format has no magnitude bits, >32 overflows
+  // the int64 shifts, and frac_bits must leave at least the sign bit.
+  for (const FixedPointFormat fmt :
+       {FixedPointFormat{.total_bits = 1, .frac_bits = 0},
+        FixedPointFormat{.total_bits = 0, .frac_bits = 0},
+        FixedPointFormat{.total_bits = 33, .frac_bits = 8},
+        FixedPointFormat{.total_bits = 16, .frac_bits = 16},
+        FixedPointFormat{.total_bits = 16, .frac_bits = -1}}) {
+    EXPECT_THROW(static_cast<void>(fmt.quantize(0.0F)),
+                 std::invalid_argument)
+        << "total=" << fmt.total_bits << " frac=" << fmt.frac_bits;
+  }
+}
+
+TEST(FixedPointFormat, InfinitiesSaturate) {
+  const FixedPointFormat q8{.total_bits = 8, .frac_bits = 4};
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  EXPECT_FLOAT_EQ(q8.quantize(kInf), static_cast<float>(q8.max_value()));
+  EXPECT_FLOAT_EQ(q8.quantize(-kInf), static_cast<float>(q8.min_value()));
+}
+
+TEST(FixedPointFormat, NanMapsToZero) {
+  // A naive min/max clamp funnels NaN to the most negative code (every
+  // comparison is false); the contract pins it to 0 instead.
+  const FixedPointFormat q8{.total_bits = 8, .frac_bits = 4};
+  EXPECT_FLOAT_EQ(q8.quantize(std::numeric_limits<float>::quiet_NaN()),
+                  0.0F);
+}
+
+TEST(FixedPointFormat, NegativeSaturationIsExactCode) {
+  // The most negative code is -2^(total-1) / 2^frac — asymmetric (one step
+  // deeper than max_value); values below must pin to it exactly.
+  const FixedPointFormat q8{.total_bits = 8, .frac_bits = 4};
+  EXPECT_FLOAT_EQ(q8.quantize(-8.0F), -8.0F);         // exactly min_value
+  EXPECT_FLOAT_EQ(q8.quantize(-8.03125F), -8.0F);     // half step below
+  EXPECT_FLOAT_EQ(q8.quantize(-1.0e20F), -8.0F);      // far below
+  EXPECT_FLOAT_EQ(static_cast<float>(q8.min_value()), -8.0F);
 }
 
 TEST(FixedPointFormat, WideFormatsNearLossless) {

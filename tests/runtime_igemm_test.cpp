@@ -1,0 +1,151 @@
+#include "runtime/igemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace wino::runtime {
+namespace {
+
+using common::Rng;
+
+/// Deterministic int8 fill covering the full [-127, 127] range (and a few
+/// -128s, which the GEMM must handle even though the quantizer never emits
+/// them).
+void fill_int8(std::vector<std::int8_t>& v, Rng& rng) {
+  for (std::int8_t& x : v) {
+    x = static_cast<std::int8_t>(
+        static_cast<int>(rng.uniform(-128.0F, 128.0F)));
+  }
+}
+
+TEST(IGemm, MatchesReferenceExhaustively) {
+  // Every (m, n, k) combination memcmp'd against the widening scalar
+  // reference: ragged SIMD tails (k % 16 != 0), K=1, single-row/column
+  // edges. Exact integer accumulation makes bitwise equality the right
+  // oracle — any mismatch is a kernel bug, not a rounding difference.
+  Rng rng(42);
+  for (const std::size_t m : {1U, 2U, 3U, 5U, 8U, 13U}) {
+    for (const std::size_t n : {1U, 2U, 7U, 16U, 33U}) {
+      for (const std::size_t k : {1U, 2U, 3U, 31U, 32U, 33U, 64U, 100U}) {
+        std::vector<std::int8_t> a(m * k);
+        std::vector<std::int8_t> b(n * k);
+        fill_int8(a, rng);
+        fill_int8(b, rng);
+        std::vector<std::int32_t> c(m * n, -1);
+        std::vector<std::int32_t> ref(m * n, -2);
+        igemm_nt(m, n, k, a.data(), k, b.data(), k, c.data(), n);
+        igemm_nt_ref(m, n, k, a.data(), k, b.data(), k, ref.data(), n);
+        ASSERT_EQ(0, std::memcmp(c.data(), ref.data(),
+                                 c.size() * sizeof(std::int32_t)))
+            << "m=" << m << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(IGemm, ScalarKernelBitIdenticalToAuto) {
+  Rng rng(7);
+  const std::size_t m = 9;
+  const std::size_t n = 29;
+  const std::size_t k = 77;
+  std::vector<std::int8_t> a(m * k);
+  std::vector<std::int8_t> b(n * k);
+  fill_int8(a, rng);
+  fill_int8(b, rng);
+  std::vector<std::int32_t> c_auto(m * n);
+  std::vector<std::int32_t> c_scalar(m * n);
+  igemm_nt(m, n, k, a.data(), k, b.data(), k, c_auto.data(), n,
+           IGemmKernel::kAuto);
+  igemm_nt(m, n, k, a.data(), k, b.data(), k, c_scalar.data(), n,
+           IGemmKernel::kScalar);
+  EXPECT_EQ(0, std::memcmp(c_auto.data(), c_scalar.data(),
+                           c_auto.size() * sizeof(std::int32_t)));
+}
+
+TEST(IGemm, ExtremeOperandsExact) {
+  // All-(+/-127) operands at a deep K: the largest magnitudes the
+  // symmetric quantizer produces, accumulated without wrap.
+  const std::size_t k = 4608;  // 512 channels * 3 * 3, the realistic max
+  std::vector<std::int8_t> a(k, 127);
+  std::vector<std::int8_t> b(k, -127);
+  std::int32_t c = 0;
+  igemm_nt(1, 1, k, a.data(), k, b.data(), k, &c, 1);
+  EXPECT_EQ(c, -127 * 127 * static_cast<std::int32_t>(k));
+}
+
+TEST(IGemm, BitIdenticalAcrossThreadCounts) {
+  Rng rng(11);
+  const std::size_t m = 16;
+  const std::size_t n = 201;  // enough columns that chunking actually splits
+  const std::size_t k = 65;
+  std::vector<std::int8_t> a(m * k);
+  std::vector<std::int8_t> b(n * k);
+  fill_int8(a, rng);
+  fill_int8(b, rng);
+  std::vector<std::int32_t> base(m * n);
+  ThreadPool::set_global_threads(1);
+  igemm_nt(m, n, k, a.data(), k, b.data(), k, base.data(), n);
+  for (const std::size_t threads : {2U, 7U}) {
+    ThreadPool::set_global_threads(threads);
+    std::vector<std::int32_t> got(m * n, 0);
+    igemm_nt(m, n, k, a.data(), k, b.data(), k, got.data(), n);
+    EXPECT_EQ(0, std::memcmp(base.data(), got.data(),
+                             base.size() * sizeof(std::int32_t)))
+        << "threads=" << threads;
+  }
+  ThreadPool::set_global_threads(4);  // restore the suite's usual size
+}
+
+TEST(IGemm, StridedOperands) {
+  // lda/ldb/ldc larger than the logical extents (panels carved from wider
+  // buffers) must address identically to the packed case.
+  Rng rng(23);
+  const std::size_t m = 3;
+  const std::size_t n = 5;
+  const std::size_t k = 10;
+  const std::size_t lda = 13;
+  const std::size_t ldb = 17;
+  const std::size_t ldc = 8;
+  std::vector<std::int8_t> a(m * lda);
+  std::vector<std::int8_t> b(n * ldb);
+  fill_int8(a, rng);
+  fill_int8(b, rng);
+  std::vector<std::int32_t> c(m * ldc, 99);
+  std::vector<std::int32_t> ref(m * ldc, 99);
+  igemm_nt(m, n, k, a.data(), lda, b.data(), ldb, c.data(), ldc);
+  igemm_nt_ref(m, n, k, a.data(), lda, b.data(), ldb, ref.data(), ldc);
+  EXPECT_EQ(0, std::memcmp(c.data(), ref.data(),
+                           c.size() * sizeof(std::int32_t)));
+  // Elements past column n in each row are untouched.
+  EXPECT_EQ(c[n], 99);
+}
+
+TEST(IGemm, RejectsOverdeepReduction) {
+  const std::size_t k = kMaxInner + 1;
+  std::vector<std::int8_t> a(k, 1);
+  std::vector<std::int8_t> b(k, 1);
+  std::int32_t c = 0;
+  EXPECT_THROW(igemm_nt(1, 1, k, a.data(), k, b.data(), k, &c, 1),
+               std::invalid_argument);
+}
+
+TEST(IGemm, EmptyExtentsAreNoOps) {
+  std::int32_t sentinel = 123;
+  igemm_nt(0, 0, 0, nullptr, 0, nullptr, 0, &sentinel, 1);
+  EXPECT_EQ(sentinel, 123);
+}
+
+TEST(IGemm, KernelNameIsKnown) {
+  const std::string name = igemm_kernel_name();
+  EXPECT_TRUE(name == "avx2" || name == "sse2" || name == "scalar") << name;
+}
+
+}  // namespace
+}  // namespace wino::runtime
