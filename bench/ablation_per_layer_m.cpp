@@ -15,20 +15,29 @@
 // speedup_planned_vs_uniform and bit_identical fields carry the CI gate's
 // verdict (bench/baselines/BENCH_plan_baseline.json).
 //
-// Usage: ablation_per_layer_m [--quick] [--algo <name>] [--out <path>]
-//   --algo  restrict the uniform comparison to one algorithm (default:
-//           im2col and Winograd m in {2, 3, 4}); parsed by
-//           nn::parse_conv_algo, e.g. "w4" or "winograd-F(4x4,3x3)".
+// Usage: ablation_per_layer_m [--quick] [--algo <name>]
+//                             [--cal-cache <path>] [--out <path>]
+//   --algo       restrict the uniform comparison to one algorithm
+//                (default: im2col and Winograd m in {2, 3, 4}); parsed by
+//                nn::parse_conv_algo, e.g. "w4" or "winograd-F(4x4,3x3)".
+//   --cal-cache  winocal measurement cache (default: winocal.cache next
+//                to the JSON artifact). When the file is warm — present
+//                and keyed to this machine + build — the planner scores
+//                from it and NO layer microbenchmark re-runs; when cold,
+//                the probe measurements are persisted there for the next
+//                run. The header line states which mode this run used.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "common/bench_io.hpp"
 #include "common/random.hpp"
 #include "common/table.hpp"
+#include "nn/calibration_io.hpp"
 #include "nn/forward.hpp"
 #include "nn/plan.hpp"
 #include "runtime/thread_pool.hpp"
@@ -73,8 +82,9 @@ long long vm_rss_bytes() {
 
 int main(int argc, char** argv) {
   if (!wino::common::validate_bench_args(
-          argc, argv, {"--quick"}, {"--algo"},
-          "ablation_per_layer_m [--quick] [--algo <name>] [--out <path>]")) {
+          argc, argv, {"--quick"}, {"--algo", "--cal-cache"},
+          "ablation_per_layer_m [--quick] [--algo <name>] "
+          "[--cal-cache <path>] [--out <path>]")) {
     return 2;
   }
   const bool quick = wino::common::has_flag(argc, argv, "--quick");
@@ -106,6 +116,26 @@ int main(int argc, char** argv) {
   Tensor4f input(batch, 3, hw, hw);
   rng.fill_uniform(input.flat(), -1.0F, 1.0F);
 
+  // Honor an on-disk winocal cache before planning: a warm cache (same
+  // machine, same build) feeds every per-layer score, so NO layer
+  // microbenchmark re-runs — previously this bench silently re-measured
+  // every (layer, candidate) pair on every invocation even with the cache
+  // sitting next to the artifact.
+  std::string cal_cache =
+      wino::common::flag_value(argc, argv, "--cal-cache", "");
+  if (cal_cache.empty()) {
+    const std::filesystem::path out(
+        wino::common::bench_output_path(argc, argv, "winocal.cache"));
+    cal_cache = out.has_parent_path()
+                    ? (out.parent_path() / "winocal.cache").string()
+                    : std::string("winocal.cache");
+  }
+  const bool cal_warm = wino::nn::load_measured_state(cal_cache);
+  std::printf("calibration source: %s (%s)\n",
+              cal_warm ? "warm winocal cache — no microbenchmarks re-run"
+                       : "cold probe — measuring every layer candidate",
+              cal_cache.c_str());
+
   // Plan in the default measured mode: each candidate is timed at each
   // layer's exact geometry (cached per process). The two-anchor
   // calibration below does NOT drive these decisions — it is the analytic
@@ -115,6 +145,9 @@ int main(int argc, char** argv) {
   opts.batch = batch;
   const wino::nn::ExecutionPlan plan =
       wino::nn::plan_execution(layers, opts);
+  if (!cal_warm && wino::nn::save_measured_state(cal_cache)) {
+    std::printf("calibration persisted to %s for the next run\n", cal_cache.c_str());
+  }
 
   std::printf("ablation_per_layer_m — cost-model planner vs best uniform "
               "algorithm\nscaled VGG16-D (%zux%zu input, batch %zu), %d "
@@ -266,7 +299,7 @@ int main(int argc, char** argv) {
   std::fprintf(json,
                "{\n  \"bench\": \"plan\",\n  \"quick\": %s,\n"
                "  \"model\": \"vgg16-d-scaled-%zu\",\n  \"batch\": %zu,\n"
-               "  \"reps\": %d,\n"
+               "  \"reps\": %d,\n  \"calibration_warm\": %s,\n"
                "  \"calibration_gflops_big\": {\"spatial\": %.3f, "
                "\"im2col\": %.3f, \"fft\": %.3f,\n"
                "    \"winograd2\": %.3f, \"winograd3\": %.3f, "
@@ -276,6 +309,7 @@ int main(int argc, char** argv) {
                "    \"winograd2\": %.3f, \"winograd3\": %.3f, "
                "\"winograd4\": %.3f},\n",
                quick ? "true" : "false", scale, batch, reps,
+               cal_warm ? "true" : "false",
                cal.spatial.gflops_big, cal.im2col.gflops_big,
                cal.fft.gflops_big, cal.winograd2.gflops_big,
                cal.winograd3.gflops_big, cal.winograd4.gflops_big,

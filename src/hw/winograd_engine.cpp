@@ -3,10 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <vector>
 
-#include "runtime/gemm.hpp"
-#include "runtime/thread_pool.hpp"
+#include "tensor/layout.hpp"
 #include "winograd/kernels.hpp"
 
 namespace wino::hw {
@@ -163,133 +161,25 @@ SimResult WinogradEngine::run_layer(const Tensor4f& input,
       simulate_timing(out_h, out_w, is.c, ks.n, is.h, is.w, is.n);
   if (mode == SimMode::kTimingOnly) return result;
 
-  // Functional execution of the datapath, in hardware order: kernel
-  // groups -> tiles -> channels, with the shared data transform recomputed
-  // per group exactly as the streaming engine would.
+  // Functional execution through the shared tile walk. The hardware's
+  // datapath — shared data transform, elementwise PE products, per-PE
+  // inverse, then the Fig 7 accumulation buffers summing channel by
+  // channel in ascending order — is exactly
+  // winograd::conv2d_winograd_layout with post-inverse accumulation: the
+  // same gather, the same transforms, the same channel-ascending sums
+  // after each tile's inverse. Kernel grouping only affects timing (the
+  // per-group stats above), never values, so the engine delegates to the
+  // one shared executor instead of keeping a private copy of the tile
+  // loop. Output remains bit-identical for any thread count (the shared
+  // wrapper confines each accumulator chain to one tile column).
   const winograd::TileTransformer xf(
       winograd::transforms(config_.m, config_.r));
   const winograd::TransformedKernels tk(xf, kernels);
-
-  const auto mm = static_cast<std::size_t>(config_.m);
-  const std::size_t n = config_.tile();
-  const std::size_t nsq = n * n;
-  const std::size_t p = config_.parallel_pes;
-  const std::size_t tiles_h = (out_h + mm - 1) / mm;
-  const std::size_t tiles_w = (out_w + mm - 1) / mm;
-
-  result.output = Tensor4f(is.n, ks.n, out_h, out_w);
-  Tensor4f& output = result.output;
-
-  // Dense float copies of A^T (m x n) and A (n x m) so the per-PE inverse
-  // transforms Y_pe = A^T M_pe A of one kernel group batch into two skinny
-  // GEMMs on the shared runtime core: concatenating the M_pe tiles
-  // horizontally gives A^T [M_0 | ... | M_{P-1}] in one multiply, and
-  // stacking the halves vertically gives [T_0; ...; T_{P-1}] A in a
-  // second. GEMM rows/columns are independent, so this equals the per-PE
-  // loop; the shared core's ascending-k accumulation matches the tiny
-  // sandwich products' order element for element.
-  const winograd::FMatrix& at = xf.at_matrix();
-  std::vector<float> at_row(mm * n);
-  std::vector<float> a_col(n * mm);
-  for (std::size_t i = 0; i < mm; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      at_row[i * n + j] = at(i, j);
-      a_col[j * mm + i] = at(i, j);
-    }
-  }
-
-  for (std::size_t img = 0; img < is.n; ++img) {
-    for (std::size_t g = 0; g * p < ks.n; ++g) {
-      const std::size_t group_kernels = std::min(p, ks.n - g * p);
-      const std::size_t gk = group_kernels;
-      // Tile positions are independent within a kernel group — each writes
-      // a disjoint out_h x out_w patch per kernel — so the flattened tile
-      // loop is parallel with per-chunk scratch. Per-tile arithmetic stays
-      // in hardware order (channels -> PEs), keeping numerics identical to
-      // the single-threaded engine.
-      runtime::parallel_for(
-          tiles_h * tiles_w,
-          [&](std::size_t tile_begin, std::size_t tile_end) {
-            std::vector<float> d(nsq);
-            std::vector<float> u(nsq);
-            // Elementwise PE products, concatenated as the n x (gk * n)
-            // matrix [M_0 | ... | M_{gk-1}], and the two GEMM stages.
-            std::vector<float> cat(n * gk * n);
-            std::vector<float> tmp(mm * gk * n);
-            std::vector<float> stacked(gk * mm * n);
-            std::vector<float> yb(gk * mm * mm);
-            // Per-PE post-inverse accumulation buffers (Fig 7 "Accumulation
-            // Buffers").
-            std::vector<std::vector<float>> acc(
-                p, std::vector<float>(mm * mm));
-            for (std::size_t t = tile_begin; t < tile_end; ++t) {
-              const std::size_t th = t / tiles_w;
-              const std::size_t tw = t % tiles_w;
-              for (auto& a : acc) std::fill(a.begin(), a.end(), 0.0F);
-              const std::ptrdiff_t y0 =
-                  static_cast<std::ptrdiff_t>(th * mm) - pad;
-              const std::ptrdiff_t x0 =
-                  static_cast<std::ptrdiff_t>(tw * mm) - pad;
-              for (std::size_t c = 0; c < is.c; ++c) {
-                // Shared data transform: once per (tile, channel) slot.
-                for (std::size_t i = 0; i < n; ++i) {
-                  for (std::size_t j = 0; j < n; ++j) {
-                    d[i * n + j] = input.padded(
-                        img, c, y0 + static_cast<std::ptrdiff_t>(i),
-                        x0 + static_cast<std::ptrdiff_t>(j));
-                  }
-                }
-                xf.transform_data(d, u);
-                // Broadcast U to the PE array: M_pe = U . V_pe.
-                for (std::size_t pe = 0; pe < gk; ++pe) {
-                  const auto v = tk.v(g * p + pe, c);
-                  for (std::size_t i = 0; i < n; ++i) {
-                    for (std::size_t j = 0; j < n; ++j) {
-                      cat[i * (gk * n) + pe * n + j] =
-                          u[i * n + j] * v[i * n + j];
-                    }
-                  }
-                }
-                // Stage 1: [T_0 | ... ] = A^T x [M_0 | ... ].
-                runtime::sgemm(mm, gk * n, n, 1.0F, at_row.data(), n,
-                               cat.data(), gk * n, 0.0F, tmp.data(),
-                               gk * n);
-                // Restack T_pe halves vertically for stage 2.
-                for (std::size_t pe = 0; pe < gk; ++pe) {
-                  for (std::size_t i = 0; i < mm; ++i) {
-                    const float* src = tmp.data() + i * (gk * n) + pe * n;
-                    float* dst = stacked.data() + (pe * mm + i) * n;
-                    std::copy(src, src + n, dst);
-                  }
-                }
-                // Stage 2: Y_pe = T_pe x A, all PEs in one multiply.
-                runtime::sgemm(gk * mm, mm, n, 1.0F, stacked.data(), n,
-                               a_col.data(), mm, 0.0F, yb.data(), mm);
-                // Post-inverse accumulation, channel by channel, exactly
-                // as the hardware's accumulation buffers sum.
-                for (std::size_t pe = 0; pe < gk; ++pe) {
-                  auto& a = acc[pe];
-                  const float* ys = yb.data() + pe * mm * mm;
-                  for (std::size_t i = 0; i < mm * mm; ++i) a[i] += ys[i];
-                }
-              }
-              // Writeback with edge clipping.
-              for (std::size_t pe = 0; pe < gk; ++pe) {
-                const std::size_t k = g * p + pe;
-                for (std::size_t i = 0; i < mm; ++i) {
-                  const std::size_t oy = th * mm + i;
-                  if (oy >= out_h) break;
-                  for (std::size_t j = 0; j < mm; ++j) {
-                    const std::size_t ox = tw * mm + j;
-                    if (ox >= out_w) break;
-                    output(img, k, oy, ox) = acc[pe][i * mm + j];
-                  }
-                }
-              }
-            }
-          });
-    }
-  }
+  const winograd::WinogradConvOptions opt{
+      pad, winograd::AccumulationOrder::kPostInverse};
+  result.output = tensor::unpack(winograd::conv2d_winograd_layout(
+      tensor::PackedActivation::from_nchw(Tensor4f(input)), tk, xf, opt,
+      tensor::LayoutKind::kNCHW, /*fuse_relu=*/false));
   return result;
 }
 

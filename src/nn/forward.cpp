@@ -525,10 +525,13 @@ void forward_plan_ws(const ExecutionPlan& plan, const MemoryPlan& mp,
           wopt.pad = l.conv.pad;
           ByteCarver carver(ws.buffer_bytes(
               static_cast<std::size_t>(mp.step_scratch[li])));
+          const std::size_t blk = li < mp.step_block_columns.size()
+                                      ? mp.step_block_columns[li]
+                                      : 1;
           const winograd::WinogradScratch scratch = carve_winograd_scratch(
               carver, cur_layout.shape.c,
               static_cast<std::size_t>(entry->xf.tile()),
-              static_cast<std::size_t>(m));
+              static_cast<std::size_t>(m), blk);
           winograd::conv2d_winograd_layout_into(cur_layout, cur, entry->tk,
                                                 entry->xf, wopt, ol, obuf,
                                                 step.fused_relu, scratch);
@@ -603,11 +606,14 @@ void forward_plan_ws(const ExecutionPlan& plan, const MemoryPlan& mp,
                                            step.act_scale, /*fuse_relu=*/true,
                                            obuf, scratch);
           } else {
+            const std::size_t blk = li < mp.step_block_columns.size()
+                                        ? mp.step_block_columns[li]
+                                        : 1;
             const quant::QuantWinogradScratch scratch =
                 carve_quant_winograd_scratch(
                     carver, cur_layout.shape.c,
                     static_cast<std::size_t>(entry->xf->tile()),
-                    static_cast<std::size_t>(entry->xf->m()));
+                    static_cast<std::size_t>(entry->xf->m()), blk);
             quant::conv2d_winograd_int8_into(view, *entry->wino, *entry->xf,
                                              l.conv.pad, step.act_scale,
                                              /*fuse_relu=*/true, obuf,
@@ -732,7 +738,10 @@ void prewarm_transforms(const ExecutionPlan& plan, const WeightBank& weights) {
 
 // Roughly half a typical L2 slice, leaving room for kernels + scratch:
 // the budget the transform-domain working set of a worker chunk must fit.
-constexpr std::size_t kSubbatchCacheBudget = 768u << 10;
+// One definition shared with the fused tile-block sizing in
+// winograd/kernels.hpp so the two locality decisions cannot drift apart.
+constexpr std::size_t kSubbatchCacheBudget =
+    winograd::kFusedCacheBudgetBytes;
 
 /// Per-image transform-domain working set of one Winograd conv layer:
 /// the (m+r-1)^2 / m^2 expansion over its input + output activations.
@@ -778,7 +787,8 @@ std::size_t plan_subbatch(const ExecutionPlan& plan, std::size_t batch) {
   std::size_t worst_bytes = 0;
   for (std::size_t li = 0; li < plan.layers.size(); ++li) {
     if (plan.layers[li].kind != LayerKind::kConv) continue;
-    const int m = winograd_m(plan.steps[li].algo);
+    int m = winograd_m(plan.steps[li].algo);
+    if (m == 0) m = int8_winograd_m(plan.steps[li].algo);
     if (m == 0) continue;
     worst_bytes =
         std::max(worst_bytes, winograd_layer_bytes(plan.layers[li].conv, m));
@@ -858,6 +868,14 @@ LayoutPlan plan_layouts(const std::vector<LayerSpec>& layers,
         static_cast<std::uint64_t>(c.k) * c.out_h() * c.out_w();
   }
   return plan;
+}
+
+std::size_t plan_batch_ceiling(const ExecutionPlan& plan) {
+  // plan_subbatch with batch = 0: plans with no Winograd layer return the
+  // 0 sentinel (no cache-derived ceiling — their working set does not
+  // inflate by (m+r-1)^2/m^2), everything else returns the largest image
+  // count whose transform-domain working set fits the cache budget.
+  return plan_subbatch(plan, 0);
 }
 
 void forward(const ExecutionPlan& plan, const WeightBank& weights,

@@ -105,6 +105,13 @@ struct MemoryPlan {
   std::vector<std::ptrdiff_t> step_activation;
   /// Per step: buffers index of the layer's scratch, or -1 when none.
   std::vector<std::ptrdiff_t> step_scratch;
+  /// Per step: fused tile-block columns for Winograd conv steps (fp32 or
+  /// int8), 1 for the per-tile walk and for every other layer kind. Sized
+  /// so the blocked scratch fits the cache budget WITHOUT raising the
+  /// slab's peak bytes at 1 or 8 images over the unfused plan (the planner
+  /// shrinks the block until the peak is neutral; a zero-slack step simply
+  /// stays at 1).
+  std::vector<std::size_t> step_block_columns;
   /// Per step: planned Layout of the output activation with shape.n == 1.
   std::vector<tensor::Layout> act_layout;
   /// Per-image input shape the walk assumed (n == 1). forward() rebuilds
@@ -142,20 +149,27 @@ struct MemoryPlan {
 /// input shape from the first layer (conv: its spec's c/h/w; FC: fc_in as
 /// a flat channel vector). Throws std::invalid_argument when the shape is
 /// not derivable (pool-first stacks) or a layer's output would be empty.
-[[nodiscard]] MemoryPlan build_memory_plan(const ExecutionPlan& plan);
+/// `fuse_blocks` enables the peak-neutral fused block sizing pass
+/// (step_block_columns); false plans every Winograd step per-tile.
+[[nodiscard]] MemoryPlan build_memory_plan(const ExecutionPlan& plan,
+                                           bool fuse_blocks = true);
 
 /// As above with an explicit per-image input shape (n is forced to 1) —
 /// the runtime fallback for inputs the plan-time walk could not assume.
 [[nodiscard]] MemoryPlan build_memory_plan(const ExecutionPlan& plan,
-                                           tensor::Shape4 input);
+                                           tensor::Shape4 input,
+                                           bool fuse_blocks = true);
 
 /// Carve (or measure) the scratch of one Winograd conv layer: the data
-/// tile, per-channel transform bank, accumulator tiles and the tile-form
-/// gather maps of winograd::conv2d_winograd_layout_into. `n_tile` is the
-/// transformer's m + r - 1 edge.
+/// tile, transform bank, accumulator tiles and the tile-form gather maps
+/// of winograd::conv2d_winograd_layout_into. `n_tile` is the transformer's
+/// m + r - 1 edge. `block_columns` > 1 carves the fused tile-block layout
+/// (u_blk/acc_blk) instead of the per-tile bank (u_all/prod); at 1 the
+/// composition — and therefore the carved byte count — is exactly the
+/// per-tile layout's.
 [[nodiscard]] winograd::WinogradScratch carve_winograd_scratch(
     ByteCarver& carver, std::size_t channels, std::size_t n_tile,
-    std::size_t m);
+    std::size_t m, std::size_t block_columns = 1);
 
 /// Carve (or measure) the scratch of one int8 im2col conv layer: the fp32
 /// patch panel, its quantized K-contiguous transpose and the int32 GEMM
@@ -170,10 +184,10 @@ struct MemoryPlan {
 /// Carve (or measure) the scratch of one int8 Winograd conv layer: the
 /// gathered/transformed/quantized tiles and accumulators of
 /// quant::conv2d_winograd_int8_into. `n_tile` is the transformer's
-/// m + r - 1 edge.
+/// m + r - 1 edge. `block_columns` as in carve_winograd_scratch.
 [[nodiscard]] quant::QuantWinogradScratch carve_quant_winograd_scratch(
     ByteCarver& carver, std::size_t channels, std::size_t n_tile,
-    std::size_t m);
+    std::size_t m, std::size_t block_columns = 1);
 
 /// Carve (or measure) the tiled-maxpool column maps for an input/output
 /// layout pair (empty spans for NCHW sides).

@@ -671,6 +671,7 @@ void replan_layouts(ExecutionPlan& plan) {
     // Input shape not derivable at plan time (pool-first stacks) or the
     // walk rejects the geometry; forward() rebuilds from the live input.
   }
+  plan.batch_ceiling = plan_batch_ceiling(plan);
 }
 
 ExecutionPlan plan_execution(const std::vector<LayerSpec>& layers,
@@ -765,6 +766,7 @@ ExecutionPlan uniform_plan(const std::vector<LayerSpec>& layers,
     } catch (const std::exception&) {
       // Same fallback as replan_layouts: forward() rebuilds as needed.
     }
+    plan.batch_ceiling = plan_batch_ceiling(plan);
   }
   return plan;
 }

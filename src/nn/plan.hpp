@@ -87,6 +87,13 @@ struct ExecutionPlan {
   /// filled when the plan was built under an error budget
   /// (PlanConstraints::max_rel_error > 0), else 0.
   double predicted_max_rel_error = 0;
+  /// Per-model batch ceiling from the plan's transform-domain working
+  /// sets (plan_batch_ceiling): the largest image count a worker chunk
+  /// marches through the stack while the fattest Winograd layer's
+  /// expanded activations stay cache-resident. 0 = no Winograd layer, no
+  /// cache-derived ceiling. serve:: clamps dynamic batches to it instead
+  /// of using the one global max_batch knob for every model.
+  std::size_t batch_ceiling = 0;
 
   /// True when every conv layer runs the same algorithm.
   [[nodiscard]] bool uniform() const;
@@ -337,6 +344,14 @@ struct PlannerOptions {
 /// every output_kind / out_tile_m / fused_relu decision and the summary
 /// counters from the current algo assignments.
 void replan_layouts(ExecutionPlan& plan);
+
+/// The plan's cache-derived batch ceiling (see ExecutionPlan::
+/// batch_ceiling): largest worker-chunk image count whose worst Winograd
+/// transform-domain working set fits the shared cache budget
+/// (winograd::kFusedCacheBudgetBytes), or 0 when no layer runs a Winograd
+/// form. Same math as the executor's sub-batch split, so the serve-side
+/// ceiling and the forward-side chunking cannot disagree.
+[[nodiscard]] std::size_t plan_batch_ceiling(const ExecutionPlan& plan);
 
 /// The trivial plan the legacy forward(..., ConvAlgo, ...) overload wraps:
 /// every conv layer runs `algo`, with the same layout pass as

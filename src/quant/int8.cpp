@@ -115,6 +115,15 @@ QuantizedWinogradKernels quantize_winograd_kernels(
       }
     }
   }
+  qk.pos.resize(qk.data.size());
+  for (std::size_t k = 0; k < qk.kernels; ++k) {
+    for (std::size_t c = 0; c < qk.channels; ++c) {
+      const std::int8_t* v_kc = qk.data.data() + (k * qk.channels + c) * nsq;
+      for (std::size_t i = 0; i < nsq; ++i) {
+        qk.pos[(k * nsq + i) * qk.channels + c] = v_kc[i];
+      }
+    }
+  }
   return qk;
 }
 
@@ -197,13 +206,28 @@ void conv2d_winograd_int8_into(const tensor::Tensor4fView& input,
   const std::size_t tiles_y = (oh + m - 1) / m;
   const std::size_t tiles_x = (ow + m - 1) / m;
   check_span(scratch.d.size(), nsq, "d");
-  check_span(scratch.u_all.size(), is.c * nsq, "u_all");
-  check_span(scratch.sv.size(), nsq, "sv");
-  check_span(scratch.uq_all.size(), is.c * nsq, "uq_all");
-  check_span(scratch.acc.size(), nsq, "acc");
   check_span(scratch.m_f.size(), nsq, "m_f");
   check_span(scratch.y.size(), msq, "y");
   check_span(out.size(), is.n * qk.kernels * oh * ow, "out");
+  std::size_t block = 0;  // fused block size, 0 = per-tile walk
+  if (scratch.u_blk.empty()) {
+    check_span(scratch.u_all.size(), is.c * nsq, "u_all");
+    check_span(scratch.sv.size(), nsq, "sv");
+    check_span(scratch.uq_all.size(), is.c * nsq, "uq_all");
+    check_span(scratch.acc.size(), nsq, "acc");
+  } else {
+    block = scratch.u_blk.size() / (is.c * nsq);
+    if (block < 2 || !scratch.u_all.empty() || !scratch.sv.empty() ||
+        !scratch.uq_all.empty() || !scratch.acc.empty()) {
+      throw std::invalid_argument(
+          "conv2d_winograd_int8: blocked scratch must replace the per-tile "
+          "bank with B >= 2 columns");
+    }
+    check_span(scratch.u_blk.size(), is.c * nsq * block, "u_blk");
+    check_span(scratch.sv_blk.size(), nsq * block, "sv_blk");
+    check_span(scratch.uq_blk.size(), is.c * nsq * block, "uq_blk");
+    check_span(scratch.acc_blk.size(), nsq * block, "acc_blk");
+  }
 
   // The Winograd form self-calibrates in the transform domain: each tile
   // position takes its scale from the observed max across channels (the
@@ -211,65 +235,162 @@ void conv2d_winograd_int8_into(const tensor::Tensor4fView& input,
   // per-image/per-tile deterministic, so thread bit-identity is free. The
   // static act_scale is for the spatial-domain forms; ignore it here.
   (void)act_scale;
+
+  // Gather one channel of the tile at (ty, tx) into scratch.d.
+  const auto gather = [&](std::size_t img, std::size_t c, std::size_t ty,
+                          std::size_t tx) {
+    const std::ptrdiff_t base_h = static_cast<std::ptrdiff_t>(ty * m) - pad;
+    const std::ptrdiff_t base_w = static_cast<std::ptrdiff_t>(tx * m) - pad;
+    for (std::size_t i = 0; i < n_tile; ++i) {
+      for (std::size_t j = 0; j < n_tile; ++j) {
+        scratch.d[i * n_tile + j] =
+            input.padded(img, c, base_h + static_cast<std::ptrdiff_t>(i),
+                         base_w + static_cast<std::ptrdiff_t>(j));
+      }
+    }
+  };
+  // Inverse-transform scratch.m_f and scatter kernel k's tile at (ty, tx).
+  const auto finish_tile = [&](float* obase, std::size_t k, std::size_t ty,
+                               std::size_t tx) {
+    xf.inverse(scratch.m_f, scratch.y);
+    float* oplane = obase + k * oh * ow;
+    const std::size_t lim_h = std::min(m, oh - ty * m);
+    const std::size_t lim_w = std::min(m, ow - tx * m);
+    for (std::size_t i = 0; i < lim_h; ++i) {
+      for (std::size_t j = 0; j < lim_w; ++j) {
+        float v = scratch.y[i * m + j];
+        if (fuse_relu && v < 0.0F) v = 0.0F;
+        oplane[(ty * m + i) * ow + tx * m + j] = v;
+      }
+    }
+  };
+
+  if (block == 0) {
+    for (std::size_t img = 0; img < is.n; ++img) {
+      float* obase = out.data() + img * qk.kernels * oh * ow;
+      for (std::size_t ty = 0; ty < tiles_y; ++ty) {
+        for (std::size_t tx = 0; tx < tiles_x; ++tx) {
+          for (std::size_t c = 0; c < is.c; ++c) {
+            gather(img, c, ty, tx);
+            xf.transform_data(scratch.d,
+                              scratch.u_all.subspan(c * nsq, nsq));
+          }
+          for (std::size_t i = 0; i < nsq; ++i) {
+            float pos_max = 0.0F;
+            for (std::size_t c = 0; c < is.c; ++c) {
+              pos_max =
+                  std::max(pos_max, std::abs(scratch.u_all[c * nsq + i]));
+            }
+            scratch.sv[i] = pos_max / 127.0F;
+            const float inv = pos_max > 0.0F ? 127.0F / pos_max : 0.0F;
+            for (std::size_t c = 0; c < is.c; ++c) {
+              scratch.uq_all[c * nsq + i] =
+                  quantize_symmetric(scratch.u_all[c * nsq + i], inv);
+            }
+          }
+          for (std::size_t k = 0; k < qk.kernels; ++k) {
+            std::fill(scratch.acc.begin(), scratch.acc.end(), 0);
+            const std::int8_t* vbase =
+                qk.data.data() + k * qk.channels * nsq;
+            for (std::size_t c = 0; c < is.c; ++c) {
+              const std::int8_t* uq = scratch.uq_all.data() + c * nsq;
+              const std::int8_t* vq = vbase + c * nsq;
+              for (std::size_t i = 0; i < nsq; ++i) {
+                scratch.acc[i] += static_cast<std::int32_t>(uq[i]) *
+                                  static_cast<std::int32_t>(vq[i]);
+              }
+            }
+            const float* kscale = qk.scale.data() + k * nsq;
+            for (std::size_t i = 0; i < nsq; ++i) {
+              scratch.m_f[i] = static_cast<float>(scratch.acc[i]) *
+                               (kscale[i] * scratch.sv[i]);
+            }
+            finish_tile(obase, k, ty, tx);
+          }
+        }
+      }
+    }
+    return;
+  }
+
+  // Fused tile-block pipeline (see winograd::run_columns_fused for the
+  // fp32 analogue): per block of B tiles, transform + self-calibrate +
+  // quantize into the [n*n][C][B] banks, run one int32 coordinate GEMM
+  // per (kernel, position) over the block's columns, then dequantize /
+  // inverse / scatter per tile. Every per-tile quantity is computed from
+  // that tile's own data by the same fp32 expressions (and the reduction
+  // is exact int32), so the result is bit-identical to the per-tile walk.
+  const std::size_t B = block;
+  const std::size_t C = is.c;
+  const std::size_t tiles_total = tiles_y * tiles_x;
   for (std::size_t img = 0; img < is.n; ++img) {
     float* obase = out.data() + img * qk.kernels * oh * ow;
-    for (std::size_t ty = 0; ty < tiles_y; ++ty) {
-      for (std::size_t tx = 0; tx < tiles_x; ++tx) {
-        const std::ptrdiff_t base_h =
-            static_cast<std::ptrdiff_t>(ty * m) - pad;
-        const std::ptrdiff_t base_w =
-            static_cast<std::ptrdiff_t>(tx * m) - pad;
-        for (std::size_t c = 0; c < is.c; ++c) {
-          for (std::size_t i = 0; i < n_tile; ++i) {
-            for (std::size_t j = 0; j < n_tile; ++j) {
-              scratch.d[i * n_tile + j] =
-                  input.padded(img, c, base_h + static_cast<std::ptrdiff_t>(i),
-                               base_w + static_cast<std::ptrdiff_t>(j));
-            }
-          }
-          xf.transform_data(
-              scratch.d, scratch.u_all.subspan(c * nsq, nsq));
-        }
-        for (std::size_t i = 0; i < nsq; ++i) {
-          float pos_max = 0.0F;
-          for (std::size_t c = 0; c < is.c; ++c) {
-            pos_max = std::max(pos_max, std::abs(scratch.u_all[c * nsq + i]));
-          }
-          scratch.sv[i] = pos_max / 127.0F;
-          const float inv = pos_max > 0.0F ? 127.0F / pos_max : 0.0F;
-          for (std::size_t c = 0; c < is.c; ++c) {
-            scratch.uq_all[c * nsq + i] =
-                quantize_symmetric(scratch.u_all[c * nsq + i], inv);
-          }
-        }
-        for (std::size_t k = 0; k < qk.kernels; ++k) {
-          std::fill(scratch.acc.begin(), scratch.acc.end(), 0);
-          const std::int8_t* vbase =
-              qk.data.data() + k * qk.channels * nsq;
-          for (std::size_t c = 0; c < is.c; ++c) {
-            const std::int8_t* uq = scratch.uq_all.data() + c * nsq;
-            const std::int8_t* vq = vbase + c * nsq;
-            for (std::size_t i = 0; i < nsq; ++i) {
-              scratch.acc[i] += static_cast<std::int32_t>(uq[i]) *
-                                static_cast<std::int32_t>(vq[i]);
-            }
-          }
-          const float* kscale = qk.scale.data() + k * nsq;
+    for (std::size_t base = 0; base < tiles_total; base += B) {
+      const std::size_t bcols = std::min(B, tiles_total - base);
+      for (std::size_t t = 0; t < bcols; ++t) {
+        const std::size_t ty = (base + t) / tiles_x;
+        const std::size_t tx = (base + t) % tiles_x;
+        for (std::size_t c = 0; c < C; ++c) {
+          gather(img, c, ty, tx);
+          xf.transform_data(scratch.d, scratch.m_f);
+          float* lane = scratch.u_blk.data() + c * B + t;
           for (std::size_t i = 0; i < nsq; ++i) {
-            scratch.m_f[i] = static_cast<float>(scratch.acc[i]) *
-                             (kscale[i] * scratch.sv[i]);
+            lane[i * C * B] = scratch.m_f[i];
           }
-          xf.inverse(scratch.m_f, scratch.y);
-          float* oplane = obase + k * oh * ow;
-          const std::size_t lim_h = std::min(m, oh - ty * m);
-          const std::size_t lim_w = std::min(m, ow - tx * m);
-          for (std::size_t i = 0; i < lim_h; ++i) {
-            for (std::size_t j = 0; j < lim_w; ++j) {
-              float v = scratch.y[i * m + j];
-              if (fuse_relu && v < 0.0F) v = 0.0F;
-              oplane[(ty * m + i) * ow + tx * m + j] = v;
+        }
+      }
+      for (std::size_t i = 0; i < nsq; ++i) {
+        const float* ue = scratch.u_blk.data() + i * C * B;
+        std::int8_t* qe = scratch.uq_blk.data() + i * C * B;
+        float* sve = scratch.sv_blk.data() + i * B;
+        for (std::size_t t = 0; t < bcols; ++t) {
+          float pos_max = 0.0F;
+          for (std::size_t c = 0; c < C; ++c) {
+            pos_max = std::max(pos_max, std::abs(ue[c * B + t]));
+          }
+          sve[t] = pos_max / 127.0F;
+          const float inv = pos_max > 0.0F ? 127.0F / pos_max : 0.0F;
+          for (std::size_t c = 0; c < C; ++c) {
+            qe[c * B + t] = quantize_symmetric(ue[c * B + t], inv);
+          }
+        }
+      }
+      for (std::size_t k = 0; k < qk.kernels; ++k) {
+        constexpr std::size_t kRegCols = 8;
+        for (std::size_t i = 0; i < nsq; ++i) {
+          const std::int8_t* vp = qk.v_pos(k, i).data();
+          const std::int8_t* qe = scratch.uq_blk.data() + i * C * B;
+          std::int32_t* accrow = scratch.acc_blk.data() + i * B;
+          std::size_t t = 0;
+          for (; t + kRegCols <= bcols; t += kRegCols) {
+            std::int32_t acc[kRegCols] = {};
+            for (std::size_t c = 0; c < C; ++c) {
+              const auto vv = static_cast<std::int32_t>(vp[c]);
+              const std::int8_t* up = qe + c * B + t;
+              for (std::size_t j = 0; j < kRegCols; ++j) {
+                acc[j] += static_cast<std::int32_t>(up[j]) * vv;
+              }
             }
+            for (std::size_t j = 0; j < kRegCols; ++j) accrow[t + j] = acc[j];
           }
+          for (; t < bcols; ++t) {
+            std::int32_t a = 0;
+            for (std::size_t c = 0; c < C; ++c) {
+              a += static_cast<std::int32_t>(qe[c * B + t]) *
+                   static_cast<std::int32_t>(vp[c]);
+            }
+            accrow[t] = a;
+          }
+        }
+        const float* kscale = qk.scale.data() + k * nsq;
+        for (std::size_t t = 0; t < bcols; ++t) {
+          const std::size_t ty = (base + t) / tiles_x;
+          const std::size_t tx = (base + t) % tiles_x;
+          for (std::size_t i = 0; i < nsq; ++i) {
+            scratch.m_f[i] = static_cast<float>(scratch.acc_blk[i * B + t]) *
+                             (kscale[i] * scratch.sv_blk[i * B + t]);
+          }
+          finish_tile(obase, k, ty, tx);
         }
       }
     }
@@ -321,7 +442,17 @@ tensor::Tensor4f run_winograd_int8(const tensor::Tensor4f& input,
   conv2d_winograd_int8_into(
       tensor::Tensor4fView(is, input.flat()), qk, xf, pad, act_scale,
       /*fuse_relu=*/false, out.flat(),
-      QuantWinogradScratch{d, u_all, sv, uq_all, acc, m_f, y});
+      QuantWinogradScratch{.d = d,
+                           .u_all = u_all,
+                           .sv = sv,
+                           .uq_all = uq_all,
+                           .acc = acc,
+                           .u_blk = {},
+                           .sv_blk = {},
+                           .uq_blk = {},
+                           .acc_blk = {},
+                           .m_f = m_f,
+                           .y = y});
   return out;
 }
 

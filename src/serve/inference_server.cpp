@@ -72,8 +72,12 @@ ModelId InferenceServer::add_model(std::string name, nn::ExecutionPlan plan,
   // Size execution state at registration, not first request: filter
   // transforms into the cross-call cache, and one workspace slab per pool
   // participant from MemoryPlan.peak_bytes — per-request memory becomes a
-  // planned constant under the configured max_batch.
-  nn::prewarm_workspaces(plan, weights, config_.max_batch);
+  // planned constant under the model's effective batch cap (the plan's
+  // cache-derived ceiling clamped by the configured max_batch).
+  const std::size_t warm_batch =
+      plan.batch_ceiling > 0 ? std::min(plan.batch_ceiling, config_.max_batch)
+                             : config_.max_batch;
+  nn::prewarm_workspaces(plan, weights, warm_batch);
   auto model = std::make_shared<const Model>(
       Model{std::move(name), std::move(plan), std::move(weights)});
   std::lock_guard lock(models_mutex_);
@@ -213,6 +217,10 @@ std::future<Tensor4f> InferenceServer::submit(ModelId model, Tensor4f image,
   }
   request.priority = options.priority;
   request.predicted_ms = predicted_ms;
+  request.batch_cap = session->plan.batch_ceiling > 0
+                          ? std::min(session->plan.batch_ceiling,
+                                     config_.max_batch)
+                          : config_.max_batch;
   request.seq = seq;
   request.tag = options.tag;
   std::future<Tensor4f> result = request.promise.get_future();
@@ -259,6 +267,7 @@ void InferenceServer::batcher_loop() {
   const auto absorb = [&](Request&& r) {
     Pool& pool = pools[r.model];
     const ModelId model = r.model;
+    pool.cap = r.batch_cap;  // per-model constant (plan is frozen)
     pool.requests.push_back(std::move(r));
     if (config_.pending_observer) {
       config_.pending_observer(model, pool.requests.size());
@@ -291,14 +300,45 @@ void InferenceServer::batcher_loop() {
     }
   };
 
-  // Dispatch up to max_batch requests from `pool` in schedule order.
+  // Dispatch up to the pool's cap (the model's plan-derived batch
+  // ceiling clamped by max_batch) in schedule order, then trade batch
+  // size against the tightest member's slack: grow the batch in schedule
+  // order accumulating predicted cost, and stop before the member whose
+  // admission would push the batch's predicted completion past the
+  // tightest deadline taken so far — strict comparison, matching the shed
+  // sweep, so finishing exactly on time still ships. The head request
+  // always dispatches (shedding is the sweep's job, not assembly's).
   const auto assemble = [&](ModelId model, Pool& pool, Clock::time_point now) {
     auto& rs = pool.requests;
     std::stable_sort(rs.begin(), rs.end(),
                      [&](const Request& a, const Request& b) {
                        return schedule_before(a, b, now);
                      });
-    const std::size_t take = std::min(config_.max_batch, rs.size());
+    const std::size_t cap =
+        pool.cap > 0 ? std::min(pool.cap, rs.size()) : rs.size();
+    std::size_t take = 0;
+    if (edf) {
+      double cost_ms = 0.0;
+      auto tightest = Clock::time_point::max();
+      while (take < cap) {
+        const Request& r = rs[take];
+        const auto cand_tightest =
+            r.has_deadline ? std::min(tightest, r.deadline) : tightest;
+        const double cand_cost = cost_ms + r.predicted_ms;
+        if (take > 0 && cand_tightest != Clock::time_point::max() &&
+            now + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double, std::milli>(cand_cost)) >
+                cand_tightest) {
+          break;
+        }
+        tightest = cand_tightest;
+        cost_ms = cand_cost;
+        ++take;
+      }
+      take = std::max<std::size_t>(take, 1);
+    } else {
+      take = cap;
+    }
     Batch batch;
     batch.model = model;
     batch.requests.reserve(take);
@@ -337,7 +377,9 @@ void InferenceServer::batcher_loop() {
   const auto dispatch_ready = [&](Clock::time_point now) {
     for (auto it = pools.begin(); it != pools.end();) {
       Pool& pool = it->second;
-      while (pool.requests.size() >= config_.max_batch) {
+      const std::size_t full =
+          pool.cap > 0 ? pool.cap : config_.max_batch;
+      while (pool.requests.size() >= full) {
         assemble(it->first, pool, now);
       }
       if (!pool.requests.empty() && pool_due_at(pool) <= now) {

@@ -128,7 +128,13 @@ struct BatchRequestInfo {
 /// \brief Tuning knobs for an InferenceServer.
 struct ServerConfig {
   /// Largest batch the dynamic batcher assembles; a pending batch is
-  /// dispatched as soon as it reaches this size.
+  /// dispatched as soon as it reaches this size. Per model, the effective
+  /// cap is min(max_batch, the session plan's cache-derived batch_ceiling)
+  /// — a model whose Winograd working set only keeps N images cache-
+  /// resident is batched to N, not to the global knob (see
+  /// nn::plan_batch_ceiling). EDF assembly may further trim a batch so
+  /// the tightest member's deadline survives the members queued ahead of
+  /// it (slack trading; see batcher_loop).
   std::size_t max_batch = 8;
 
   /// How long the oldest request in a pending batch may wait for
@@ -349,6 +355,11 @@ class InferenceServer {
     /// Session predicted_total_ms at admission — the admission/shedding
     /// cost signal, released when the request finishes.
     double predicted_ms = 0.0;
+    /// Effective batch cap for this request's model: the session plan's
+    /// cache-derived batch_ceiling clamped by config max_batch (just
+    /// max_batch when the plan has no ceiling). Carried per request so
+    /// the batcher needs no model lookup.
+    std::size_t batch_cap = 0;
     std::uint64_t seq = 0;
     std::uint64_t tag = 0;
   };
@@ -362,6 +373,8 @@ class InferenceServer {
   /// is imposed at assembly).
   struct Pool {
     std::vector<Request> requests;
+    /// Model batch cap (Request::batch_cap of its members).
+    std::size_t cap = 0;
   };
 
   [[nodiscard]] std::shared_ptr<const Model> find_model(ModelId model) const;

@@ -3,9 +3,22 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "runtime/thread_pool.hpp"
+
 namespace wino::winograd {
 
 using tensor::Tensor4f;
+
+std::size_t fused_block_columns(std::size_t channels, std::size_t tile,
+                                std::size_t budget_bytes) {
+  // Per column the block holds (C + 1) * n^2 floats: the transformed data
+  // bank plus one accumulator lane. Half the budget keeps the V bank and
+  // the output tiles of the block resident alongside.
+  const std::size_t per_column = (channels + 1) * tile * tile * sizeof(float);
+  if (per_column == 0) return 1;
+  const std::size_t fit = budget_bytes / (2 * per_column);
+  return std::clamp<std::size_t>(fit, 1, kFusedMaxBlockColumns);
+}
 
 TileTransformer::TileTransformer(const TransformSet& t)
     : m_(t.m), r_(t.r), n_(t.tile()), bt_(t.bt_f()), g_(t.g_f()),
@@ -120,6 +133,17 @@ TransformedKernels::TransformedKernels(const TileTransformer& xf,
       }
       xf.transform_filter(
           g, {data_.data() + (k * channels_ + c) * tile_sq_, tile_sq_});
+    }
+  }
+  // Position-major mirror for the fused executor: same floats, re-ordered
+  // so the coordinate-e GEMM reads its C multiplicands contiguously.
+  pos_.resize(data_.size());
+  for (std::size_t k = 0; k < kernels_; ++k) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float* v_kc = data_.data() + (k * channels_ + c) * tile_sq_;
+      for (std::size_t e = 0; e < tile_sq_; ++e) {
+        pos_[(k * tile_sq_ + e) * channels_ + c] = v_kc[e];
+      }
     }
   }
 }
@@ -240,24 +264,320 @@ Tensor4f conv2d_winograd(const Tensor4f& input, const TransformedKernels& tk,
   return out;
 }
 
-void conv2d_winograd_layout_into(const tensor::Layout& il,
-                                 std::span<const float> in,
-                                 const TransformedKernels& tk,
-                                 const TileTransformer& xf,
-                                 const WinogradConvOptions& opt,
-                                 const tensor::Layout& ol,
-                                 std::span<float> out, bool fuse_relu,
-                                 const WinogradScratch& scratch) {
-  using tensor::Layout;
+namespace {
+
+/// Geometry and buffer pointers shared by the layout-aware executors; one
+/// instance per conv2d_winograd_layout[_into] call, immutable during the
+/// column walk.
+struct LayoutConv {
+  const float* src = nullptr;
+  float* dst = nullptr;
+  const TransformedKernels* tk = nullptr;
+  const TileTransformer* xf = nullptr;
+  tensor::Layout ol;
+  bool fuse_relu = false;
+  int pad = 0;
+  std::size_t channels = 0, kernel_count = 0;
+  std::size_t in_n = 0, in_h = 0, in_w = 0, out_h = 0, out_w = 0;
+  std::size_t mm = 0, n = 0, nsq = 0;
+  std::size_t tiles_h = 0, tiles_w = 0;
+  bool in_tiled = false, out_tiled = false;
+  std::size_t in_tm = 0, in_th_n = 0, in_tw_n = 0, in_tmsq = 0;
+
+  /// Flattened tile-column count: (img, th, tw) in lexicographic order.
+  [[nodiscard]] std::size_t columns() const {
+    return in_n * tiles_h * tiles_w;
+  }
+};
+
+/// Valid data extent of the gather window at tile position (th, tw).
+struct Window {
+  std::ptrdiff_t y0 = 0, x0 = 0;
+  std::size_t i_lo = 0, i_hi = 0, j_lo = 0, j_hi = 0;
+  bool padded = false;
+};
+
+Window make_window(const LayoutConv& g, std::size_t th, std::size_t tw) {
+  Window w;
+  w.y0 = static_cast<std::ptrdiff_t>(th * g.mm) - g.pad;
+  w.x0 = static_cast<std::ptrdiff_t>(tw * g.mm) - g.pad;
+  w.i_lo = w.y0 < 0 ? static_cast<std::size_t>(-w.y0) : 0;
+  w.i_hi = std::min(g.n, static_cast<std::size_t>(std::max<std::ptrdiff_t>(
+                             0, static_cast<std::ptrdiff_t>(g.in_h) - w.y0)));
+  w.j_lo = w.x0 < 0 ? static_cast<std::size_t>(-w.x0) : 0;
+  w.j_hi = std::min(g.n, static_cast<std::size_t>(std::max<std::ptrdiff_t>(
+                             0, static_cast<std::ptrdiff_t>(g.in_w) - w.x0)));
+  w.padded = w.i_lo > 0 || w.i_hi < g.n || w.j_lo > 0 || w.j_hi < g.n;
+  return w;
+}
+
+/// Gather maps for the tile-form input: window row i / column j of the
+/// current tile position resolves to a (source tile, offset within tile)
+/// pair, so the per-element gather is a single indexed load — no division,
+/// no validity branch (validity is the contiguous [lo, hi) span instead).
+void build_gather_maps(const LayoutConv& g, const WinogradScratch& s,
+                       const Window& w) {
+  for (std::size_t i = w.i_lo; i < w.i_hi; ++i) {
+    const auto gy =
+        static_cast<std::size_t>(w.y0 + static_cast<std::ptrdiff_t>(i));
+    s.row_tile[i] = gy / g.in_tm;
+    s.row_in[i] = (gy % g.in_tm) * g.in_tm;
+  }
+  for (std::size_t j = w.j_lo; j < w.j_hi; ++j) {
+    const auto gx =
+        static_cast<std::size_t>(w.x0 + static_cast<std::ptrdiff_t>(j));
+    s.col_off[j] = (gx / g.in_tm) * g.in_tmsq + gx % g.in_tm;
+  }
+}
+
+/// Fill s.d with channel c of the gather window at (img, w).
+void gather_channel(const LayoutConv& g, const WinogradScratch& s,
+                    const Window& w, std::size_t img, std::size_t c) {
+  const std::span<float> d = s.d;
+  if (w.padded) std::fill(d.begin(), d.end(), 0.0F);
+  if (!g.in_tiled) {
+    const float* plane = g.src + (img * g.channels + c) * g.in_h * g.in_w;
+    for (std::size_t i = w.i_lo; i < w.i_hi; ++i) {
+      const float* rowp =
+          plane +
+          static_cast<std::size_t>(w.y0 + static_cast<std::ptrdiff_t>(i)) *
+              g.in_w +
+          static_cast<std::size_t>(w.x0 +
+                                   static_cast<std::ptrdiff_t>(w.j_lo));
+      float* drow = d.data() + i * g.n;
+      // Plain loop, not std::copy: the span is a handful of floats, and a
+      // memmove call per tile row costs more than the loads it performs.
+      for (std::size_t j = w.j_lo; j < w.j_hi; ++j) {
+        drow[j] = rowp[j - w.j_lo];
+      }
+    }
+  } else {
+    const std::size_t chan_base = (img * g.channels + c) * g.in_th_n;
+    for (std::size_t i = w.i_lo; i < w.i_hi; ++i) {
+      const float* row_ptr =
+          g.src + (chan_base + s.row_tile[i]) * g.in_tw_n * g.in_tmsq +
+          s.row_in[i];
+      float* drow = d.data() + i * g.n;
+      for (std::size_t j = w.j_lo; j < w.j_hi; ++j) {
+        drow[j] = row_ptr[s.col_off[j]];
+      }
+    }
+  }
+}
+
+/// Scatter acc_y (m*m) for kernel k at tile (img, th, tw) into the
+/// requested output layout, clipping the ragged right/bottom edge.
+void scatter_tile(const LayoutConv& g, std::span<const float> acc_y,
+                  std::size_t img, std::size_t k, std::size_t th,
+                  std::size_t tw) {
+  const std::size_t mm = g.mm;
+  const std::size_t ie = std::min(mm, g.out_h - th * mm);
+  const std::size_t je = std::min(mm, g.out_w - tw * mm);
+  if (!g.out_tiled) {
+    float* out_plane =
+        g.dst + (img * g.kernel_count + k) * g.out_h * g.out_w;
+    for (std::size_t i = 0; i < ie; ++i) {
+      float* orow = out_plane + (th * mm + i) * g.out_w + tw * mm;
+      const float* ay = acc_y.data() + i * mm;
+      if (g.fuse_relu) {
+        for (std::size_t j = 0; j < je; ++j) {
+          orow[j] = ay[j] > 0.0F ? ay[j] : 0.0F;
+        }
+      } else {
+        for (std::size_t j = 0; j < je; ++j) orow[j] = ay[j];
+      }
+    }
+  } else {
+    // Tile-form scatter: one contiguous m*m block per (k, tile);
+    // positions past the feature map edge hold zero, preserving the
+    // layout's ragged-tile invariant (ReLU keeps 0 at 0).
+    float* block = g.dst + tensor::winograd_tile_offset(g.ol, img, k, th, tw);
+    if (ie == mm && je == mm) {
+      if (g.fuse_relu) {
+        for (std::size_t i = 0; i < mm * mm; ++i) {
+          block[i] = acc_y[i] > 0.0F ? acc_y[i] : 0.0F;
+        }
+      } else {
+        for (std::size_t i = 0; i < mm * mm; ++i) block[i] = acc_y[i];
+      }
+    } else {
+      std::fill(block, block + mm * mm, 0.0F);
+      for (std::size_t i = 0; i < ie; ++i) {
+        for (std::size_t j = 0; j < je; ++j) {
+          const float v = acc_y[i * mm + j];
+          block[i * mm + j] = g.fuse_relu ? (v > 0.0F ? v : 0.0F) : v;
+        }
+      }
+    }
+  }
+}
+
+/// Decode flattened column index -> (img, th, tw).
+void decode_column(const LayoutConv& g, std::size_t col, std::size_t& img,
+                   std::size_t& th, std::size_t& tw) {
+  const std::size_t per_img = g.tiles_h * g.tiles_w;
+  img = col / per_img;
+  const std::size_t rem = col % per_img;
+  th = rem / g.tiles_w;
+  tw = rem % g.tiles_w;
+}
+
+/// Per-tile (unfused) walk over columns [col_begin, col_end): the original
+/// three-sweep executor, kept verbatim so both accumulation orders remain
+/// available and so a block size of 1 never pays blocked-copy overhead.
+void run_columns(const LayoutConv& g, const WinogradScratch& s,
+                 AccumulationOrder order, std::size_t col_begin,
+                 std::size_t col_end) {
+  const TileTransformer& xf = *g.xf;
+  const TransformedKernels& tk = *g.tk;
+  const std::size_t nsq = g.nsq;
+  const std::span<float> u_all = s.u_all;
+  const std::span<float> prod = s.prod;
+  const std::span<float> acc_m = s.acc_m;
+  const std::span<float> y = s.y;
+  const std::span<float> acc_y = s.acc_y;
+
+  for (std::size_t col = col_begin; col < col_end; ++col) {
+    std::size_t img = 0, th = 0, tw = 0;
+    decode_column(g, col, img, th, tw);
+    const Window w = make_window(g, th, tw);
+    if (g.in_tiled) build_gather_maps(g, s, w);
+
+    for (std::size_t c = 0; c < g.channels; ++c) {
+      gather_channel(g, s, w, img, c);
+      xf.transform_data(s.d, {u_all.data() + c * nsq, nsq});
+    }
+
+    // The accumulation-order branch is hoisted out of the channel loop
+    // (the baseline tests it per channel): same arithmetic in the same
+    // order, but the transform-domain inner loop — the hot path
+    // nn::forward uses — stays branch-free.
+    if (order == AccumulationOrder::kTransformDomain) {
+      for (std::size_t k = 0; k < g.kernel_count; ++k) {
+        std::fill(acc_m.begin(), acc_m.end(), 0.0F);
+        for (std::size_t c = 0; c < g.channels; ++c) {
+          const float* u = u_all.data() + c * nsq;
+          const auto v = tk.v(k, c);
+          for (std::size_t i = 0; i < nsq; ++i) acc_m[i] += u[i] * v[i];
+        }
+        xf.inverse(acc_m, acc_y);
+        scatter_tile(g, acc_y, img, k, th, tw);
+      }
+    } else {
+      for (std::size_t k = 0; k < g.kernel_count; ++k) {
+        std::fill(acc_y.begin(), acc_y.end(), 0.0F);
+        for (std::size_t c = 0; c < g.channels; ++c) {
+          const float* u = u_all.data() + c * nsq;
+          const auto v = tk.v(k, c);
+          for (std::size_t i = 0; i < nsq; ++i) prod[i] = u[i] * v[i];
+          xf.inverse(prod, y);
+          for (std::size_t i = 0; i < y.size(); ++i) acc_y[i] += y[i];
+        }
+        scatter_tile(g, acc_y, img, k, th, tw);
+      }
+    }
+  }
+}
+
+/// Fused tile-block pipeline over columns [col_begin, col_end), walked in
+/// blocks of `block_columns` (transform-domain accumulation only): gather
+/// and transform a block of columns into the [n^2][C][B] bank, run one
+/// register-accumulating coordinate GEMM per (kernel, position) restricted
+/// to the block's columns, then inverse-transform and scatter each column
+/// while the block is still cache-hot.
+///
+/// Bit-identity with run_columns holds per element: for every (kernel,
+/// column, position) the accumulator starts at 0 and adds u*v in strictly
+/// ascending channel order — the same float operations in the same order,
+/// only regrouped across *independent* columns. (This translation unit is
+/// built with -ffp-contract=off, so the compiler cannot contract the
+/// multiply-add differently in the two loops either.)
+void run_columns_fused(const LayoutConv& g, const WinogradScratch& s,
+                       std::size_t block_columns, std::size_t col_begin,
+                       std::size_t col_end) {
+  const TileTransformer& xf = *g.xf;
+  const TransformedKernels& tk = *g.tk;
+  const std::size_t nsq = g.nsq;
+  const std::size_t C = g.channels;
+  const std::size_t B = block_columns;
+  const std::span<float> u_blk = s.u_blk;
+  const std::span<float> acc_blk = s.acc_blk;
+  const std::span<float> acc_m = s.acc_m;  // staging + inverse gather tile
+  const std::span<float> acc_y = s.acc_y;
+
+  for (std::size_t base = col_begin; base < col_end; base += B) {
+    const std::size_t bcols = std::min(B, col_end - base);
+
+    // Stage 1: gather + transform every column of the block into the
+    // blocked bank u_blk[(e*C + c)*B + t].
+    for (std::size_t t = 0; t < bcols; ++t) {
+      std::size_t img = 0, th = 0, tw = 0;
+      decode_column(g, base + t, img, th, tw);
+      const Window w = make_window(g, th, tw);
+      if (g.in_tiled) build_gather_maps(g, s, w);
+      for (std::size_t c = 0; c < C; ++c) {
+        gather_channel(g, s, w, img, c);
+        xf.transform_data(s.d, acc_m);
+        float* lane = u_blk.data() + c * B + t;
+        for (std::size_t e = 0; e < nsq; ++e) lane[e * C * B] = acc_m[e];
+      }
+    }
+
+    for (std::size_t k = 0; k < g.kernel_count; ++k) {
+      // Stage 2: per-position coordinate GEMMs over the block's columns.
+      // The t-register tile holds its partial sums across the whole
+      // channel loop — one load per multiply-add instead of the per-tile
+      // path's load-v/load-acc/store-acc triple.
+      constexpr std::size_t kRegCols = 8;
+      for (std::size_t e = 0; e < nsq; ++e) {
+        const float* vp = tk.v_pos(k, e).data();
+        const float* ue = u_blk.data() + e * C * B;
+        float* accrow = acc_blk.data() + e * B;
+        std::size_t t = 0;
+        for (; t + kRegCols <= bcols; t += kRegCols) {
+          float acc[kRegCols] = {};
+          for (std::size_t c = 0; c < C; ++c) {
+            const float vv = vp[c];
+            const float* up = ue + c * B + t;
+            for (std::size_t j = 0; j < kRegCols; ++j) {
+              acc[j] += up[j] * vv;
+            }
+          }
+          for (std::size_t j = 0; j < kRegCols; ++j) accrow[t + j] = acc[j];
+        }
+        for (; t < bcols; ++t) {
+          float a = 0.0F;
+          for (std::size_t c = 0; c < C; ++c) a += ue[c * B + t] * vp[c];
+          accrow[t] = a;
+        }
+      }
+
+      // Stage 3: inverse transform + (fused ReLU) scatter per column.
+      for (std::size_t t = 0; t < bcols; ++t) {
+        std::size_t img = 0, th = 0, tw = 0;
+        decode_column(g, base + t, img, th, tw);
+        for (std::size_t e = 0; e < nsq; ++e) acc_m[e] = acc_blk[e * B + t];
+        xf.inverse(acc_m, acc_y);
+        scatter_tile(g, acc_y, img, k, th, tw);
+      }
+    }
+  }
+}
+
+/// Validate everything but the scratch and build the walk geometry.
+LayoutConv make_layout_conv(const tensor::Layout& il,
+                            std::span<const float> in,
+                            const TransformedKernels& tk,
+                            const TileTransformer& xf,
+                            const WinogradConvOptions& opt,
+                            const tensor::Layout& ol, std::span<float> out,
+                            bool fuse_relu) {
   using tensor::LayoutKind;
-  if (il.kind != LayoutKind::kNCHW &&
-      il.kind != LayoutKind::kWinogradTile) {
+  if (il.kind != LayoutKind::kNCHW && il.kind != LayoutKind::kWinogradTile) {
     throw std::invalid_argument(
         "conv2d_winograd_layout: input must be NCHW or Winograd-tile form");
   }
-  const LayoutKind out_kind = ol.kind;
-  if (out_kind != LayoutKind::kNCHW &&
-      out_kind != LayoutKind::kWinogradTile) {
+  if (ol.kind != LayoutKind::kNCHW && ol.kind != LayoutKind::kWinogradTile) {
     throw std::invalid_argument(
         "conv2d_winograd_layout: output must be NCHW or Winograd-tile form");
   }
@@ -266,7 +586,6 @@ void conv2d_winograd_layout_into(const tensor::Layout& il,
         "conv2d_winograd_layout: buffer size != layout volume");
   }
   const auto& is = il.shape;
-  const std::size_t kernel_count = tk.kernel_count();
   const auto r = static_cast<std::size_t>(xf.r());
   const auto tile = static_cast<std::size_t>(xf.tile());
   if (tk.tile_area() != tile * tile) {
@@ -285,18 +604,36 @@ void conv2d_winograd_layout_into(const tensor::Layout& il,
     throw std::invalid_argument(
         "conv2d_winograd_layout: output would be empty");
   }
-  const auto out_h = static_cast<std::size_t>(oh);
-  const auto out_w = static_cast<std::size_t>(ow);
 
-  const auto mm = static_cast<std::size_t>(xf.m());
-  const std::size_t n = tile;
-  const std::size_t nsq = n * n;
-  const std::size_t tiles_h = (out_h + mm - 1) / mm;
-  const std::size_t tiles_w = (out_w + mm - 1) / mm;
+  LayoutConv g;
+  g.src = in.data();
+  g.dst = out.data();
+  g.tk = &tk;
+  g.xf = &xf;
+  g.ol = ol;
+  g.fuse_relu = fuse_relu;
+  g.pad = pad;
+  g.channels = is.c;
+  g.kernel_count = tk.kernel_count();
+  g.in_n = is.n;
+  g.in_h = is.h;
+  g.in_w = is.w;
+  g.out_h = static_cast<std::size_t>(oh);
+  g.out_w = static_cast<std::size_t>(ow);
+  g.mm = static_cast<std::size_t>(xf.m());
+  g.n = tile;
+  g.nsq = tile * tile;
+  g.tiles_h = (g.out_h + g.mm - 1) / g.mm;
+  g.tiles_w = (g.out_w + g.mm - 1) / g.mm;
+  g.in_tiled = il.kind == LayoutKind::kWinogradTile;
+  g.out_tiled = ol.kind == LayoutKind::kWinogradTile;
+  g.in_tm = g.in_tiled ? il.tile_m : 1;  // unused for NCHW
+  g.in_th_n = g.in_tiled ? il.tiles_h() : 0;
+  g.in_tw_n = g.in_tiled ? il.tiles_w() : 0;
+  g.in_tmsq = g.in_tm * g.in_tm;
 
-  const tensor::Shape4 out_shape{is.n, kernel_count, out_h, out_w};
-  if (!(ol.shape == out_shape) ||
-      (out_kind == LayoutKind::kWinogradTile && ol.tile_m != mm)) {
+  const tensor::Shape4 out_shape{is.n, g.kernel_count, g.out_h, g.out_w};
+  if (!(ol.shape == out_shape) || (g.out_tiled && ol.tile_m != g.mm)) {
     throw std::invalid_argument(
         "conv2d_winograd_layout: output layout does not match this conv");
   }
@@ -304,193 +641,108 @@ void conv2d_winograd_layout_into(const tensor::Layout& il,
     throw std::invalid_argument(
         "conv2d_winograd_layout: output buffer size != layout volume");
   }
-  if (scratch.d.size() != nsq || scratch.u_all.size() != is.c * nsq ||
-      scratch.prod.size() != nsq || scratch.acc_m.size() != nsq ||
-      scratch.y.size() != mm * mm || scratch.acc_y.size() != mm * mm ||
-      scratch.row_tile.size() != n || scratch.row_in.size() != n ||
-      scratch.col_off.size() != n) {
+  return g;
+}
+
+/// Validate the scratch against the geometry; returns the fused block size
+/// (>= 2) when the blocked spans engage the fused pipeline, 0 otherwise.
+std::size_t validate_scratch(const LayoutConv& g, AccumulationOrder order,
+                             const WinogradScratch& s) {
+  const std::size_t nsq = g.nsq;
+  const std::size_t mm = g.mm;
+  if (s.d.size() != nsq || s.acc_m.size() != nsq ||
+      s.y.size() != mm * mm || s.acc_y.size() != mm * mm ||
+      s.row_tile.size() != g.n || s.row_in.size() != g.n ||
+      s.col_off.size() != g.n) {
     throw std::invalid_argument(
         "conv2d_winograd_layout: scratch size mismatch");
   }
-
-  // Input-side geometry for the tile-form gather.
-  const std::size_t in_tm = il.kind == LayoutKind::kWinogradTile
-                                ? il.tile_m
-                                : 1;  // unused for NCHW
-  const std::size_t in_th_n =
-      il.kind == LayoutKind::kWinogradTile ? il.tiles_h() : 0;
-  const std::size_t in_tw_n =
-      il.kind == LayoutKind::kWinogradTile ? il.tiles_w() : 0;
-  const std::size_t in_tmsq = in_tm * in_tm;
-
-  const std::span<float> d = scratch.d;
-  const std::span<float> u_all = scratch.u_all;
-  const std::span<float> prod = scratch.prod;
-  const std::span<float> acc_m = scratch.acc_m;
-  const std::span<float> y = scratch.y;
-  const std::span<float> acc_y = scratch.acc_y;
-
-  const float* src = in.data();
-  float* dst = out.data();
-  const bool in_tiled = il.kind == LayoutKind::kWinogradTile;
-
-  // Precomputed gather maps for the tile-form input: the window row i /
-  // column j of the current tile position resolves to a (source tile,
-  // offset within tile) pair. Rebuilt once per tile row / tile column, so
-  // the per-element gather is a single indexed load — no division, no
-  // validity branch (validity is a contiguous [lo, hi) span instead).
-  const std::span<std::size_t> row_tile = scratch.row_tile;
-  const std::span<std::size_t> row_in = scratch.row_in;
-  const std::span<std::size_t> col_off = scratch.col_off;
-
-  for (std::size_t img = 0; img < is.n; ++img) {
-    for (std::size_t th = 0; th < tiles_h; ++th) {
-      const std::ptrdiff_t y0 = static_cast<std::ptrdiff_t>(th * mm) - pad;
-      // Valid window rows [i_lo, i_hi): inside the feature map.
-      const std::size_t i_lo =
-          y0 < 0 ? static_cast<std::size_t>(-y0) : 0;
-      const std::size_t i_hi = std::min(
-          n, static_cast<std::size_t>(std::max<std::ptrdiff_t>(
-                 0, static_cast<std::ptrdiff_t>(is.h) - y0)));
-      if (in_tiled) {
-        for (std::size_t i = i_lo; i < i_hi; ++i) {
-          const auto gy = static_cast<std::size_t>(
-              y0 + static_cast<std::ptrdiff_t>(i));
-          row_tile[i] = gy / in_tm;
-          row_in[i] = (gy % in_tm) * in_tm;
-        }
-      }
-      for (std::size_t tw = 0; tw < tiles_w; ++tw) {
-        const std::ptrdiff_t x0 = static_cast<std::ptrdiff_t>(tw * mm) - pad;
-        const std::size_t j_lo =
-            x0 < 0 ? static_cast<std::size_t>(-x0) : 0;
-        const std::size_t j_hi = std::min(
-            n, static_cast<std::size_t>(std::max<std::ptrdiff_t>(
-                   0, static_cast<std::ptrdiff_t>(is.w) - x0)));
-        if (in_tiled) {
-          for (std::size_t j = j_lo; j < j_hi; ++j) {
-            const auto gx = static_cast<std::size_t>(
-                x0 + static_cast<std::ptrdiff_t>(j));
-            col_off[j] = (gx / in_tm) * in_tmsq + gx % in_tm;
-          }
-        }
-        const bool padded_window =
-            i_lo > 0 || i_hi < n || j_lo > 0 || j_hi < n;
-
-        for (std::size_t c = 0; c < is.c; ++c) {
-          if (padded_window) std::fill(d.begin(), d.end(), 0.0F);
-          if (!in_tiled) {
-            const float* plane = src + (img * is.c + c) * is.h * is.w;
-            for (std::size_t i = i_lo; i < i_hi; ++i) {
-              const float* rowp =
-                  plane +
-                  static_cast<std::size_t>(
-                      y0 + static_cast<std::ptrdiff_t>(i)) *
-                      is.w +
-                  static_cast<std::size_t>(
-                      x0 + static_cast<std::ptrdiff_t>(j_lo));
-              float* drow = d.data() + i * n;
-              // Plain loop, not std::copy: the span is a handful of
-              // floats, and a memmove call per tile row costs more than
-              // the loads it performs.
-              for (std::size_t j = j_lo; j < j_hi; ++j) {
-                drow[j] = rowp[j - j_lo];
-              }
-            }
-          } else {
-            const std::size_t chan_base = (img * is.c + c) * in_th_n;
-            for (std::size_t i = i_lo; i < i_hi; ++i) {
-              const float* row_ptr =
-                  src + (chan_base + row_tile[i]) * in_tw_n * in_tmsq +
-                  row_in[i];
-              float* drow = d.data() + i * n;
-              for (std::size_t j = j_lo; j < j_hi; ++j) {
-                drow[j] = row_ptr[col_off[j]];
-              }
-            }
-          }
-          xf.transform_data(d, {u_all.data() + c * nsq, nsq});
-        }
-
-        // Valid output extent of this tile (ragged at the right/bottom).
-        const std::size_t ie = std::min(mm, out_h - th * mm);
-        const std::size_t je = std::min(mm, out_w - tw * mm);
-
-        // Scatter acc_y into the requested output layout.
-        const auto scatter = [&](std::size_t k) {
-          if (out_kind == LayoutKind::kNCHW) {
-            float* out_plane =
-                dst + (img * kernel_count + k) * out_h * out_w;
-            for (std::size_t i = 0; i < ie; ++i) {
-              float* orow = out_plane + (th * mm + i) * out_w + tw * mm;
-              const float* ay = acc_y.data() + i * mm;
-              if (fuse_relu) {
-                for (std::size_t j = 0; j < je; ++j) {
-                  orow[j] = ay[j] > 0.0F ? ay[j] : 0.0F;
-                }
-              } else {
-                for (std::size_t j = 0; j < je; ++j) orow[j] = ay[j];
-              }
-            }
-          } else {
-            // Tile-form scatter: one contiguous m*m block per (k, tile);
-            // positions past the feature map edge hold zero, preserving
-            // the layout's ragged-tile invariant (ReLU keeps 0 at 0).
-            float* block =
-                dst + tensor::winograd_tile_offset(ol, img, k, th, tw);
-            if (ie == mm && je == mm) {
-              if (fuse_relu) {
-                for (std::size_t i = 0; i < mm * mm; ++i) {
-                  block[i] = acc_y[i] > 0.0F ? acc_y[i] : 0.0F;
-                }
-              } else {
-                for (std::size_t i = 0; i < mm * mm; ++i) {
-                  block[i] = acc_y[i];
-                }
-              }
-            } else {
-              std::fill(block, block + mm * mm, 0.0F);
-              for (std::size_t i = 0; i < ie; ++i) {
-                for (std::size_t j = 0; j < je; ++j) {
-                  const float v = acc_y[i * mm + j];
-                  block[i * mm + j] =
-                      fuse_relu ? (v > 0.0F ? v : 0.0F) : v;
-                }
-              }
-            }
-          }
-        };
-
-        // The accumulation-order branch is hoisted out of the channel
-        // loop (the baseline tests it per channel): same arithmetic in
-        // the same order, but the transform-domain inner loop — the hot
-        // path nn::forward uses — stays branch-free.
-        if (opt.accumulation == AccumulationOrder::kTransformDomain) {
-          for (std::size_t k = 0; k < kernel_count; ++k) {
-            std::fill(acc_m.begin(), acc_m.end(), 0.0F);
-            for (std::size_t c = 0; c < is.c; ++c) {
-              const float* u = u_all.data() + c * nsq;
-              const auto v = tk.v(k, c);
-              for (std::size_t i = 0; i < nsq; ++i) acc_m[i] += u[i] * v[i];
-            }
-            xf.inverse(acc_m, acc_y);
-            scatter(k);
-          }
-        } else {
-          for (std::size_t k = 0; k < kernel_count; ++k) {
-            std::fill(acc_y.begin(), acc_y.end(), 0.0F);
-            for (std::size_t c = 0; c < is.c; ++c) {
-              const float* u = u_all.data() + c * nsq;
-              const auto v = tk.v(k, c);
-              for (std::size_t i = 0; i < nsq; ++i) prod[i] = u[i] * v[i];
-              xf.inverse(prod, y);
-              for (std::size_t i = 0; i < y.size(); ++i) acc_y[i] += y[i];
-            }
-            scatter(k);
-          }
-        }
-      }
+  if (s.u_blk.empty()) {
+    if (s.u_all.size() != g.channels * nsq || s.prod.size() != nsq) {
+      throw std::invalid_argument(
+          "conv2d_winograd_layout: scratch size mismatch");
     }
+    return 0;
+  }
+  const std::size_t per_col = g.channels * nsq;
+  const std::size_t block = s.u_blk.size() / per_col;
+  if (block < 2 || s.u_blk.size() != block * per_col ||
+      s.acc_blk.size() != block * nsq) {
+    throw std::invalid_argument(
+        "conv2d_winograd_layout: blocked scratch size mismatch");
+  }
+  if (order != AccumulationOrder::kTransformDomain) {
+    throw std::invalid_argument(
+        "conv2d_winograd_layout: fused blocks require transform-domain "
+        "accumulation");
+  }
+  if (!s.u_all.empty() || !s.prod.empty()) {
+    throw std::invalid_argument(
+        "conv2d_winograd_layout: blocked scratch must not carry the "
+        "per-tile bank");
+  }
+  return block;
+}
+
+/// Heap-backed scratch for the allocating wrapper (one per worker chunk).
+struct OwnedScratch {
+  std::vector<float> f;
+  std::vector<std::size_t> idx;
+  WinogradScratch s;
+};
+
+OwnedScratch make_owned_scratch(std::size_t channels, std::size_t n,
+                                std::size_t mm, std::size_t block_columns) {
+  const std::size_t nsq = n * n;
+  OwnedScratch o;
+  const std::size_t bank = block_columns > 1
+                               ? channels * nsq * block_columns + /*acc_blk*/
+                                     nsq * block_columns
+                               : channels * nsq + /*prod*/ nsq;
+  o.f.resize(nsq + bank + nsq + mm * mm + mm * mm);
+  o.idx.resize(3 * n);
+  float* f = o.f.data();
+  o.s.d = {f, nsq};
+  f += nsq;
+  if (block_columns > 1) {
+    o.s.u_blk = {f, channels * nsq * block_columns};
+    f += channels * nsq * block_columns;
+    o.s.acc_blk = {f, nsq * block_columns};
+    f += nsq * block_columns;
+  } else {
+    o.s.u_all = {f, channels * nsq};
+    f += channels * nsq;
+    o.s.prod = {f, nsq};
+    f += nsq;
+  }
+  o.s.acc_m = {f, nsq};
+  f += nsq;
+  o.s.y = {f, mm * mm};
+  f += mm * mm;
+  o.s.acc_y = {f, mm * mm};
+  o.s.row_tile = {o.idx.data(), n};
+  o.s.row_in = {o.idx.data() + n, n};
+  o.s.col_off = {o.idx.data() + 2 * n, n};
+  return o;
+}
+
+}  // namespace
+
+void conv2d_winograd_layout_into(const tensor::Layout& il,
+                                 std::span<const float> in,
+                                 const TransformedKernels& tk,
+                                 const TileTransformer& xf,
+                                 const WinogradConvOptions& opt,
+                                 const tensor::Layout& ol,
+                                 std::span<float> out, bool fuse_relu,
+                                 const WinogradScratch& scratch) {
+  const LayoutConv g =
+      make_layout_conv(il, in, tk, xf, opt, ol, out, fuse_relu);
+  const std::size_t block = validate_scratch(g, opt.accumulation, scratch);
+  if (block >= 2) {
+    run_columns_fused(g, scratch, block, 0, g.columns());
+  } else {
+    run_columns(g, scratch, opt.accumulation, 0, g.columns());
   }
 }
 
@@ -526,31 +778,29 @@ tensor::PackedActivation conv2d_winograd_layout(
                         : Layout::winograd_tile(out_shape, mm);
   tensor::PackedActivation out{ol, std::vector<float>(ol.volume())};
 
-  // One-shot scratch matching carve_winograd_scratch's composition; the
-  // allocation-free core does all remaining validation.
+  const LayoutConv g =
+      make_layout_conv(il, input.data, tk, xf, opt, ol, out.data, fuse_relu);
   const auto n = static_cast<std::size_t>(xf.tile());
-  const std::size_t nsq = n * n;
-  std::vector<float> fbuf(nsq + is.c * nsq + nsq + nsq + mm * mm + mm * mm);
-  std::vector<std::size_t> ibuf(3 * n);
-  WinogradScratch scratch;
-  float* f = fbuf.data();
-  scratch.d = {f, nsq};
-  f += nsq;
-  scratch.u_all = {f, is.c * nsq};
-  f += is.c * nsq;
-  scratch.prod = {f, nsq};
-  f += nsq;
-  scratch.acc_m = {f, nsq};
-  f += nsq;
-  scratch.y = {f, mm * mm};
-  f += mm * mm;
-  scratch.acc_y = {f, mm * mm};
-  scratch.row_tile = {ibuf.data(), n};
-  scratch.row_in = {ibuf.data() + n, n};
-  scratch.col_off = {ibuf.data() + 2 * n, n};
 
-  conv2d_winograd_layout_into(il, input.data, tk, xf, opt, ol, out.data,
-                              fuse_relu, scratch);
+  // Fused cache-blocked pipeline for the hot accumulation order; the
+  // block loop is what the ThreadPool splits — every worker chunk owns a
+  // private scratch and a contiguous column range, and per-column
+  // arithmetic is independent of both the chunking and the block
+  // boundaries, so any thread count produces the same bytes.
+  std::size_t block =
+      opt.accumulation == AccumulationOrder::kTransformDomain
+          ? std::min(fused_block_columns(is.c, n, kFusedCacheBudgetBytes),
+                     std::max<std::size_t>(1, g.columns()))
+          : 1;
+  if (block < kFusedMinBlockColumns) block = 1;  // all-scalar-tail: slower
+  runtime::parallel_for(g.columns(), [&](std::size_t begin, std::size_t end) {
+    const OwnedScratch o = make_owned_scratch(is.c, n, mm, block);
+    if (block >= 2) {
+      run_columns_fused(g, o.s, block, begin, end);
+    } else {
+      run_columns(g, o.s, opt.accumulation, begin, end);
+    }
+  });
   return out;
 }
 
